@@ -1,0 +1,72 @@
+"""Microbenchmarks of the AMM engine itself.
+
+These measure the Python engine's real wall-clock throughput — the
+quantity that bounds how large an experiment the epoch-level harness can
+simulate, and a useful regression canary for the core math.
+"""
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.pool import Pool, PoolConfig
+from repro.amm.quoter import quote_swap
+from repro.amm import tick_math
+
+
+def build_pool(num_positions=50):
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    for i in range(num_positions):
+        width = 60 * (i + 1)
+        pool.mint(f"lp{i}", -width, width, 10**18)
+    return pool
+
+
+def test_bench_swap_in_range(benchmark):
+    pool = build_pool()
+    state = {"direction": True}
+
+    def one_swap():
+        state["direction"] = not state["direction"]
+        return pool.swap(state["direction"], 10**14)
+
+    result = benchmark(one_swap)
+    assert result.amount0 != 0 or result.amount1 != 0
+
+
+def test_bench_swap_crossing_ticks(benchmark):
+    pool = build_pool()
+    state = {"direction": True}
+
+    def crossing_swap():
+        state["direction"] = not state["direction"]
+        return pool.swap(state["direction"], 5 * 10**17)
+
+    result = benchmark(crossing_swap)
+    assert result.fee_paid > 0
+
+
+def test_bench_quote(benchmark):
+    pool = build_pool()
+    quote = benchmark(quote_swap, pool, True, 10**15)
+    assert quote.amount0 > 0
+
+
+def test_bench_mint_burn_cycle(benchmark):
+    pool = build_pool(num_positions=5)
+
+    def cycle():
+        pool.mint("cycler", -600, 600, 10**15)
+        pool.burn("cycler", -600, 600, 10**15)
+        pool.collect("cycler", -600, 600, 10**30, 10**30)
+
+    benchmark(cycle)
+
+
+def test_bench_tick_math_roundtrip(benchmark):
+    def roundtrip():
+        total = 0
+        for tick in range(-5000, 5000, 500):
+            ratio = tick_math.get_sqrt_ratio_at_tick(tick)
+            total += tick_math.get_tick_at_sqrt_ratio(ratio)
+        return total
+
+    benchmark(roundtrip)

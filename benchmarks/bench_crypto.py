@@ -1,0 +1,50 @@
+"""Microbenchmarks of the crypto substrate (TSQC signing path)."""
+
+from repro import constants
+from repro.core.summary import EpochSummary, PayoutEntry
+from repro.core.sync import TsqcAuthenticator, create_tx_sync
+from repro.crypto.dkg import simulate_dkg
+from repro.crypto.groups import G2Element
+from repro.crypto.keys import generate_keypair
+from repro.simulation.rng import DeterministicRng
+
+
+def test_bench_dkg_committee_500(benchmark):
+    """Per-epoch DKG for the paper's default 500-member committee."""
+    threshold = constants.committee_quorum(500)
+    rng = DeterministicRng(0)
+    result = benchmark(simulate_dkg, 500, threshold, rng)
+    assert result.num_members == 500
+
+
+def test_bench_threshold_sign_quorum_334(benchmark):
+    """Threshold-signing a sync with the 2f+2 = 334 quorum."""
+    threshold = constants.committee_quorum(500)
+    dkg = simulate_dkg(500, threshold, DeterministicRng(0))
+    auth = TsqcAuthenticator(
+        threshold=threshold,
+        group_vk=dkg.group_vk,
+        shares={f"m{i}": dkg.shares[i] for i in range(500)},
+    )
+    signers = [f"m{i}" for i in range(threshold)]
+    summary = EpochSummary(
+        epoch=0,
+        payouts=[PayoutEntry(user=f"u{i}", balance0=1, balance1=2) for i in range(100)],
+    )
+
+    def sign():
+        payload = create_tx_sync([summary], G2Element(7))
+        return auth.sign_payload(payload, signers)
+
+    payload = benchmark(sign)
+    assert auth.verify_payload(payload)
+
+
+def test_bench_schnorr_sign_verify(benchmark):
+    keypair = generate_keypair("bench")
+
+    def sign_verify():
+        sig = keypair.sign(b"pbft-vote", 42)
+        return keypair.verify(sig, b"pbft-vote", 42)
+
+    assert benchmark(sign_verify)

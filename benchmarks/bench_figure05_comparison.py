@@ -1,0 +1,19 @@
+"""Figure 5: total gas and mainchain growth, ammBoost vs baseline Uniswap.
+
+Paper: 96.05% gas reduction, 93.42% growth reduction vs Sepolia (97.60%
+vs production Ethereum sizes), at 10x Uniswap daily volume.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_figure5
+
+
+def test_figure05_gas_and_growth(benchmark):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"num_epochs": 11}, rounds=1, iterations=1
+    )
+    emit(result)
+    rows = result.row_dict()
+    assert rows["Gas reduction %"][1] > 90
+    assert rows["MC growth reduction % (vs Sepolia)"][1] > 85
+    assert rows["MC growth reduction % (vs Ethereum)"][1] > 93

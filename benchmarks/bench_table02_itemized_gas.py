@@ -1,0 +1,12 @@
+"""Table II: itemised Sync gas and mainchain latency for ammBoost ops."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table2_itemized_gas
+
+
+def test_table02_itemized_gas(benchmark):
+    result = benchmark.pedantic(run_table2_itemized_gas, rounds=1, iterations=1)
+    emit(result)
+    rows = result.row_dict()
+    assert rows["Sync payout (per entry)"][1] == 15_771
+    assert rows["Deposit (2 tokens, pipeline)"][1] == 105_392

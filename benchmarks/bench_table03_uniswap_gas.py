@@ -1,0 +1,12 @@
+"""Table III: per-operation gas and latency for baseline Uniswap."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table3_uniswap_gas
+
+
+def test_table03_uniswap_gas(benchmark):
+    result = benchmark.pedantic(run_table3_uniswap_gas, rounds=1, iterations=1)
+    emit(result)
+    rows = result.row_dict()
+    assert rows["Swap"][1] == 160_601
+    assert rows["Mint"][3] > rows["Burn"][3]

@@ -1,0 +1,12 @@
+"""Table IV: per-operation storage overhead on both chains."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table4_storage
+
+
+def test_table04_storage(benchmark):
+    result = benchmark.pedantic(run_table4_storage, rounds=1, iterations=1)
+    emit(result)
+    rows = result.row_dict()
+    assert rows["Payout entry"][1] == 352
+    assert rows["Position entry"][2] == 215

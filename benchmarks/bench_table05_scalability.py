@@ -1,0 +1,22 @@
+"""Table V: scalability — throughput and latency vs daily volume.
+
+Paper: ~0.42 / 3.41 / 33.04 / 138.06 tx/s for 50K / 500K / 5M / 25M daily
+transactions, with quasi-instant latency until congestion at 500x.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table5_scalability
+
+
+def test_table05_scalability(benchmark):
+    result = benchmark.pedantic(run_table5_scalability, rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    throughputs = [row[1] for row in rows]
+    assert throughputs == sorted(throughputs)
+    # 500x Uniswap volume sustained near the ~138 tx/s capacity bound.
+    assert 100 < throughputs[-1] < 165
+    # Quasi-instant sc latency while uncongested.
+    assert rows[0][3] < 10 and rows[1][3] < 10
+    # Congestion at 500x.
+    assert rows[-1][3] > 10 * rows[0][3]

@@ -1,0 +1,21 @@
+"""Table VI: ammBoost vs Optimism-inspired rollup (ammOP).
+
+Paper: 2.69x throughput, 91.02% lower transaction latency, 99.94% lower
+payout finality (the rollup's 7-day contestation period).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table6_rollup
+
+
+def test_table06_rollup_comparison(benchmark):
+    result = benchmark.pedantic(run_table6_rollup, rounds=1, iterations=1)
+    emit(result)
+    rows = result.row_dict()
+    op, amm = rows["ammOP"], rows["ammBoost"]
+    assert 2.0 < amm[1] / op[1] < 3.5
+    assert amm[3] < op[3]
+    # Paper: 99.94% payout-finality reduction; the congested-queue latency
+    # model measures a somewhat larger ammBoost payout latency than the
+    # paper (see EXPERIMENTS.md), so assert the >99% shape.
+    assert 1 - amm[5] / op[5] > 0.99

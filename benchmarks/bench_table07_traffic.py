@@ -1,0 +1,15 @@
+"""Table VII: Uniswap 2023 traffic breakdown (Appendix D)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table7_traffic_analysis
+
+
+def test_table07_traffic_analysis(benchmark):
+    result = benchmark.pedantic(
+        run_table7_traffic_analysis, kwargs={"sample_size": 100_000},
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    rows = result.row_dict()
+    assert abs(rows["swap"][1] - 93.19) < 0.5
+    assert abs(rows["burn"][1] - 2.38) < 0.4

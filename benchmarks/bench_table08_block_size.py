@@ -1,0 +1,23 @@
+"""Table VIII: impact of sidechain block size at 1000x volume.
+
+Paper: throughput 68.97 / 138.61 / 207.52 / 276.43 tx/s for 0.5-2 MB
+(linear in block size); latency falls sharply with block size.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table8_block_size
+
+
+def test_table08_block_size(benchmark):
+    result = benchmark.pedantic(run_table8_block_size, rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    throughputs = [row[1] for row in rows]
+    # Linear scaling: 1:2:3:4.
+    assert throughputs[1] == pytest.approx(2 * throughputs[0], rel=0.1)
+    assert throughputs[3] == pytest.approx(4 * throughputs[0], rel=0.1)
+    # Latency monotonically decreasing in block size.
+    latencies = [row[3] for row in rows]
+    assert latencies == sorted(latencies, reverse=True)

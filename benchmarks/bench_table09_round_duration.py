@@ -1,0 +1,22 @@
+"""Table IX: impact of sidechain round duration at 500x volume.
+
+Paper: throughput 138.06 / 92.18 / 61.75 / 46.31 tx/s for 7/11/16/21 s
+rounds; latency grows superlinearly with round duration.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table9_round_duration
+
+
+def test_table09_round_duration(benchmark):
+    result = benchmark.pedantic(run_table9_round_duration, rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    throughputs = [row[1] for row in rows]
+    assert throughputs == sorted(throughputs, reverse=True)
+    # Throughput ~ capacity / round duration: 7s vs 21s gives ~3x.
+    assert throughputs[0] == pytest.approx(3 * throughputs[-1], rel=0.15)
+    latencies = [row[3] for row in rows]
+    assert latencies == sorted(latencies)

@@ -1,0 +1,20 @@
+"""Table XI: impact of the traffic distribution.
+
+Paper: throughput/latency stay close across mixes (similar tx sizes);
+max sidechain growth is bounded by users and positions, not volume.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table11_traffic_mix
+
+
+def test_table11_traffic_mix(benchmark):
+    result = benchmark.pedantic(run_table11_traffic_mix, rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    throughputs = [row[1] for row in rows]
+    assert max(throughputs) < 1.3 * min(throughputs)
+    latencies = [row[2] for row in rows]
+    assert max(latencies) < 2.0 * max(min(latencies), 1.0)

@@ -1,0 +1,48 @@
+"""Table XII: PBFT agreement time vs committee size.
+
+Paper: 0.99 / 2.95 / 6.51 / 14.32 / 22.24 s for 100-1000 members.  The
+calibrated model reproduces these; the message-level engine is timed here
+at small committee sizes as a live cross-check that consensus actually
+runs (wall-clock simulated seconds reported by the engine itself).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import constants
+from repro.crypto.keys import generate_keypair
+from repro.experiments import run_table12_committee_size
+from repro.sidechain.pbft import PbftConfig, PbftRound
+from repro.simulation.events import EventScheduler
+from repro.simulation.network import Network
+from repro.simulation.rng import DeterministicRng
+
+
+def test_table12_committee_size(benchmark):
+    result = benchmark.pedantic(run_table12_committee_size, rounds=1, iterations=1)
+    emit(result)
+    rows = result.row_dict()
+    for size, paper in constants.AGREEMENT_TIME_BY_COMMITTEE.items():
+        assert rows[size][1] == pytest.approx(paper, rel=0.25)
+
+
+def test_table12_message_level_consensus(benchmark):
+    """Wall-clock cost of one full message-level agreement (11 nodes)."""
+    members = [f"m{i}" for i in range(11)]
+    keypairs = {m: generate_keypair(m) for m in members}
+
+    def one_agreement():
+        scheduler = EventScheduler()
+        network = Network(scheduler, DeterministicRng(5))
+        pbft = PbftRound(
+            PbftConfig(members=members, quorum=constants.committee_quorum(11)),
+            network,
+            scheduler,
+            keypairs,
+            proposer_fn=lambda v: {"block": v},
+            validator=lambda p: isinstance(p, dict),
+        )
+        return pbft.run_to_completion()
+
+    outcome = benchmark(one_agreement)
+    assert outcome.decided

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every ``bench_table*.py`` file regenerates one table/figure from the
+paper's evaluation and prints the same rows the paper reports (run with
+``-s`` to see them inline; they are also summarised in EXPERIMENTS.md).
+Set ``REPRO_FAST=1`` to scale the heavy sweeps down further.
+"""
+
+import sys
+
+
+def emit(result) -> None:
+    """Print a reproduced table so it lands in the bench log."""
+    text = "\n" + result.render()
+    if result.notes:
+        text += f"\nnotes: {result.notes}"
+    print(text, file=sys.stderr)

@@ -1,0 +1,100 @@
+"""Cross-pool arbitrage on the multi-pool sidechain + a mainchain flash.
+
+Two pools trade the same pair at different prices; an arbitrageur closes
+the gap using only her sidechain deposit balance — demonstrating the
+multi-pool ``PoolSets`` layer, immediate reuse of accrued tokens within
+an epoch, and why flash loans must stay on the *mainchain* (Section IV-B:
+they need instant token dispensing, which the delayed-payout sidechain
+cannot provide).
+
+Run with::
+
+    python examples/cross_pool_arbitrage.py
+"""
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.quoter import quote_swap
+from repro.core.system import AmmBoostConfig, AmmBoostSystem
+from repro.core.transactions import MintTx, SwapTx
+from repro.multipool import MultiPoolExecutor, PoolKey
+
+
+def tick_price(pool) -> float:
+    """Human-readable spot price from the pool's sqrt price."""
+    return (pool.sqrt_price_x96 / 2**96) ** 2
+
+
+def main() -> None:
+    # -- sidechain: two pools for the same pair at different prices --------
+    executor = MultiPoolExecutor()
+    cheap = PoolKey("TKA", "TKB", fee_pips=500)
+    rich = PoolKey("TKA", "TKB", fee_pips=3000)
+    # Pool 1 prices token A at 1.00 B; pool 2 at ~1.04 B.
+    executor.create_pool(cheap, encode_price_sqrt(100, 100))
+    executor.create_pool(rich, encode_price_sqrt(104, 100))
+
+    for user, amount in (("lp", 10**24), ("arb", 10**20)):
+        executor.credit_deposit(user, "TKA", amount)
+        executor.credit_deposit(user, "TKB", amount)
+    for key in (cheap, rich):
+        mint = MintTx(user="lp", tick_lower=-6000, tick_upper=6000,
+                      amount0_desired=10**21, amount1_desired=10**21)
+        assert executor.process(key.pool_id, mint), mint.reject_reason
+
+    print("spot prices before arbitrage:")
+    print(f"  pool {cheap.pool_id}: {tick_price(executor.pools[cheap.pool_id]):.4f} B/A")
+    print(f"  pool {rich.pool_id}: {tick_price(executor.pools[rich.pool_id]):.4f} B/A")
+
+    # Quote both legs first (read-only), then execute: buy A where it is
+    # cheap (pool 2 pays more B per A -> sell A there, buy it back cheap).
+    stake = 5 * 10**18
+    sell_quote = quote_swap(executor.pools[rich.pool_id], True, stake)
+    b_received = -sell_quote.amount1
+    buy_quote = quote_swap(executor.pools[cheap.pool_id], False, b_received)
+    a_back = -buy_quote.amount0
+    print(f"\nquoted round trip: sell {stake/1e18:.2f} A -> "
+          f"{b_received/1e18:.4f} B -> {a_back/1e18:.4f} A "
+          f"(profit {(a_back-stake)/1e18:+.4f} A)")
+
+    a_before = executor.balance_of("arb", "TKA")
+    sell = SwapTx(user="arb", zero_for_one=True, amount=stake)
+    assert executor.process(rich.pool_id, sell)
+    earned_b = sell.effects["delta1"]
+    # The B tokens are usable immediately within the epoch.
+    buy = SwapTx(user="arb", zero_for_one=False, amount=earned_b)
+    assert executor.process(cheap.pool_id, buy)
+    a_after = executor.balance_of("arb", "TKA")
+    print(f"executed profit: {(a_after - a_before)/1e18:+.4f} A")
+    assert a_after > a_before
+
+    print("prices after arbitrage (gap narrowed):")
+    print(f"  pool {cheap.pool_id}: {tick_price(executor.pools[cheap.pool_id]):.4f} B/A")
+    print(f"  pool {rich.pool_id}: {tick_price(executor.pools[rich.pool_id]):.4f} B/A")
+
+    # -- mainchain: the flash-loan variant ----------------------------------
+    # Arbitrage against an *external* venue needs tokens NOW, so it runs as
+    # a TokenBank flash loan on the mainchain, settling in one block.
+    system = AmmBoostSystem(AmmBoostConfig(
+        committee_size=8, miner_population=16, num_users=5,
+        daily_volume=50_000, rounds_per_epoch=6, seed=2,
+    ))
+    system.run(num_epochs=1)
+    bank = system.token_bank
+    loan = bank.pool_balance0 // 10
+
+    def exploit_external_venue(fee0, fee1):
+        # Pretend the external venue returns 1% profit on the loan.
+        profit = loan // 100
+        return loan + fee0 + max(0, profit - fee0), 0
+
+    tx = system.mainchain.submit_call(
+        "arber", "tokenbank", "flash", loan, 0, exploit_external_venue,
+        label="flash",
+    )
+    system.mainchain.produce_blocks_until(system.clock.now + 24)
+    print(f"\nmainchain flash loan of {loan/1e18:.2f} A: {tx.status.value} "
+          f"in one block (fee {tx.result[0]/1e18:.4f} A to LPs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""A liquidity provider's life cycle on ammBoost.
+
+Walks one LP through the full API surface: deposit on the mainchain, mint
+a concentrated-liquidity position on the sidechain, earn fees from other
+users' swaps, collect, withdraw the position, and receive the payout at
+the epoch boundary — including using newly accrued tokens *within* the
+epoch (Section IV-B's delayed-payout design).
+
+Run with::
+
+    python examples/liquidity_provider.py
+"""
+
+from repro.core.system import AmmBoostConfig, AmmBoostSystem
+from repro.core.transactions import BurnTx, CollectTx, MintTx, SwapTx
+
+
+def main() -> None:
+    system = AmmBoostSystem(
+        AmmBoostConfig(
+            committee_size=10,
+            miner_population=20,
+            num_users=10,
+            daily_volume=0,  # we drive every transaction by hand
+            rounds_per_epoch=8,
+            seed=3,
+        )
+    )
+    system.setup()
+    lp = system.population.addresses[0]
+    trader = system.population.addresses[1]
+    spacing = system.pool.config.tick_spacing
+
+    print("LP deposit on TokenBank:", system.token_bank.deposit_of(lp))
+
+    # Epoch 1: the LP mints a position around the current price, a trader
+    # swaps through it, and the LP collects the accrued fees.
+    mint = MintTx(
+        user=lp,
+        tick_lower=-50 * spacing,
+        tick_upper=50 * spacing,
+        amount0_desired=10**20,
+        amount1_desired=10**20,
+    )
+    swaps = [
+        SwapTx(user=trader, zero_for_one=bool(i % 2), amount=10**17)
+        for i in range(10)
+    ]
+    system.queue.extend([mint] + swaps)
+    system.run(num_epochs=1)
+
+    position_id = mint.effects["position_id"]
+    print(f"\nminted position {position_id[:12]}…")
+    print("  liquidity        :", mint.effects["liquidity_delta"])
+    print("  tokens committed :", (mint.effects["amount0"], mint.effects["amount1"]))
+    print("position recorded on TokenBank after sync:",
+          system.token_bank.positions[position_id].liquidity)
+
+    # Epoch 2: collect fees, then withdraw everything.
+    collect = CollectTx(user=lp, position_id=position_id)
+    burn = BurnTx(user=lp, position_id=position_id)
+    system.queue.extend([collect, burn])
+    metrics = system.run(num_epochs=0)  # one drain epoch processes them
+
+    print(f"\ncollected fees  : {(collect.effects['amount0'], collect.effects['amount1'])}")
+    print(f"burn returned   : {(burn.effects['amount0'], burn.effects['amount1'])}")
+    print("position deleted from TokenBank:",
+          position_id not in system.token_bank.positions)
+
+    # The LP's synced deposit now holds principal + fees; actual tokens
+    # can be withdrawn from the mainchain on demand.
+    final = system.token_bank.deposit_of(lp)
+    print("final deposit on TokenBank:", final)
+    tx = system.mainchain.submit_call(
+        lp, "tokenbank", "withdraw", final[0], 0, label="withdraw"
+    )
+    system.mainchain.produce_blocks_until(system.clock.now + 24)
+    print("on-demand withdrawal confirmed:", tx.status.value,
+          "| ERC20 balance regained:", system.token0.balance_of(lp) > 0)
+    print(f"\npayout latency stats: mean {metrics.payout_latency.mean:.1f}s "
+          f"over {metrics.payout_latency.count} txs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""A day of Uniswap-scale trading: ammBoost vs running the AMM on L1.
+
+Replays the paper's motivating scenario (Section I): the same trading
+workload is run through an ammBoost deployment and through a plain
+Uniswap-on-mainchain baseline, and the gas bill, chain growth and
+confirmation experience are compared — the Figure 5 story as an
+application script.
+
+Run with::
+
+    python examples/trading_day.py
+"""
+
+from repro.baselines.uniswap_l1 import UniswapL1Baseline, UniswapL1Config
+from repro.core.system import AmmBoostConfig, AmmBoostSystem
+
+DAILY_VOLUME = 500_000  # 10x Uniswap's 2023 daily volume
+EPOCHS = 6
+USERS = 60
+
+
+def main() -> None:
+    print(f"Workload: {DAILY_VOLUME:,} tx/day, {USERS} users, {EPOCHS} epochs\n")
+
+    ammboost = AmmBoostSystem(
+        AmmBoostConfig(
+            daily_volume=DAILY_VOLUME,
+            num_users=USERS,
+            committee_size=30,
+            miner_population=60,
+            seed=1,
+        )
+    )
+    amm = ammboost.run(num_epochs=EPOCHS)
+
+    baseline = UniswapL1Baseline(
+        UniswapL1Config(daily_volume=DAILY_VOLUME, num_users=USERS, seed=1)
+    )
+    base = baseline.run(num_epochs=EPOCHS)
+
+    def row(label, amm_value, base_value, unit=""):
+        print(f"{label:<28} {amm_value:>18,.2f}  vs {base_value:>18,.2f} {unit}")
+
+    print(f"{'metric':<28} {'ammBoost':>18}  vs {'Uniswap on L1':>18}")
+    row("transactions processed", amm.processed_txs, base.processed_txs)
+    row("throughput (tx/s)", amm.throughput, base.throughput)
+    row("total mainchain gas", amm.total_gas, base.total_gas)
+    row("mainchain growth (B)", amm.mainchain_growth_bytes, base.mainchain_growth_bytes)
+    row("avg confirmation (s)", amm.sidechain_latency.mean, base.mainchain_latency.mean)
+    row("avg token finality (s)", amm.payout_latency.mean, base.payout_latency.mean)
+
+    gas_saving = 100 * (1 - amm.total_gas / base.total_gas)
+    growth_saving = 100 * (1 - amm.mainchain_growth_bytes / base.mainchain_growth_bytes)
+    print(f"\ngas reduction      : {gas_saving:.2f}%  (paper: 96.05%)")
+    print(f"chain-growth cut   : {growth_saving:.2f}%  (paper: 93.42%)")
+    print(
+        "\nThe trade: ammBoost confirms trades in one 7s sidechain round but "
+        "pays tokens out at the epoch boundary; the L1 baseline pays out on "
+        "confirmation but burns ~25x the gas and ~15x the chain bytes."
+    )
+
+
+if __name__ == "__main__":
+    main()

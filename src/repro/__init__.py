@@ -1,0 +1,17 @@
+"""ammBoost reproduction: state growth control for AMMs (DSN 2025).
+
+The package is organised as a set of substrates (simulation, crypto,
+mainchain, amm, sidechain) and the paper's primary contribution
+(:mod:`repro.core`), plus baselines, workloads and the experiment harness.
+
+Public entry points most users want:
+
+* :class:`repro.core.system.AmmBoostSystem` — full ammBoost deployment.
+* :class:`repro.baselines.uniswap_l1.UniswapL1Baseline` — the L1 baseline.
+* :class:`repro.baselines.ammop.AmmOpRollup` — the Optimism-style comparator.
+* :mod:`repro.experiments` — one runner per table/figure in the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

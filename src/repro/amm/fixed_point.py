@@ -1,0 +1,55 @@
+"""Fixed-point helpers mirroring Uniswap V3's FullMath/FixedPoint96.
+
+Python integers are unbounded, so ``mulDiv`` needs no 512-bit tricks — but
+rounding semantics must match the Solidity library exactly, since the
+paper's correctness argument depends on the sidechain producing the *same*
+state changes as the on-chain AMM.
+"""
+
+from __future__ import annotations
+
+#: 2**96 — the sqrt-price fixed-point scale.
+Q96 = 1 << 96
+#: 2**128 — the fee-growth fixed-point scale.
+Q128 = 1 << 128
+#: Maximum uint160/uint128/uint256 values used for range checks.
+MAX_UINT160 = (1 << 160) - 1
+MAX_UINT128 = (1 << 128) - 1
+MAX_UINT256 = (1 << 256) - 1
+
+
+def mul_div(a: int, b: int, denominator: int) -> int:
+    """Floor of ``a * b / denominator`` (FullMath.mulDiv)."""
+    if denominator <= 0:
+        raise ZeroDivisionError("mul_div denominator must be positive")
+    return (a * b) // denominator
+
+
+def mul_div_rounding_up(a: int, b: int, denominator: int) -> int:
+    """Ceiling of ``a * b / denominator`` (FullMath.mulDivRoundingUp)."""
+    if denominator <= 0:
+        raise ZeroDivisionError("mul_div denominator must be positive")
+    return -((-(a * b)) // denominator)
+
+
+def div_rounding_up(a: int, denominator: int) -> int:
+    """Ceiling of ``a / denominator`` (UnsafeMath.divRoundingUp)."""
+    if denominator <= 0:
+        raise ZeroDivisionError("denominator must be positive")
+    return (a + denominator - 1) // denominator
+
+
+def isqrt(n: int) -> int:
+    """Integer square root (floor)."""
+    if n < 0:
+        raise ValueError("isqrt of negative number")
+    import math
+
+    return math.isqrt(n)
+
+
+def encode_price_sqrt(amount1: int, amount0: int) -> int:
+    """sqrt(amount1 / amount0) in Q64.96 — the test-suite helper Uniswap uses."""
+    if amount0 <= 0 or amount1 < 0:
+        raise ValueError("amounts must be positive")
+    return isqrt((amount1 << 192) // amount0)

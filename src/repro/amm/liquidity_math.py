@@ -1,0 +1,60 @@
+"""Liquidity arithmetic (LiquidityMath.sol + LiquidityAmounts.sol ports).
+
+``get_liquidity_for_amounts`` is the periphery helper mints use: given the
+desired token amounts and the current price, it computes "the maximum
+amount of liquidity the pool can take in at the current moment from both
+token types" (Section IV-B, mint processing).
+"""
+
+from __future__ import annotations
+
+from repro.amm.fixed_point import Q96, mul_div
+from repro.errors import LiquidityError
+
+
+def add_delta(liquidity: int, delta: int) -> int:
+    """Apply a signed liquidity change, refusing to go negative."""
+    result = liquidity + delta
+    if result < 0:
+        raise LiquidityError(
+            f"liquidity underflow: {liquidity} + {delta} < 0"
+        )
+    return result
+
+
+def get_liquidity_for_amount0(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, amount0: int
+) -> int:
+    """Liquidity purchasable with ``amount0`` across the range."""
+    if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
+        sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
+    intermediate = mul_div(sqrt_ratio_a_x96, sqrt_ratio_b_x96, Q96)
+    return mul_div(amount0, intermediate, sqrt_ratio_b_x96 - sqrt_ratio_a_x96)
+
+
+def get_liquidity_for_amount1(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, amount1: int
+) -> int:
+    """Liquidity purchasable with ``amount1`` across the range."""
+    if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
+        sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
+    return mul_div(amount1, Q96, sqrt_ratio_b_x96 - sqrt_ratio_a_x96)
+
+
+def get_liquidity_for_amounts(
+    sqrt_ratio_x96: int,
+    sqrt_ratio_a_x96: int,
+    sqrt_ratio_b_x96: int,
+    amount0: int,
+    amount1: int,
+) -> int:
+    """Maximum liquidity mintable from both token amounts at the current price."""
+    if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
+        sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
+    if sqrt_ratio_x96 <= sqrt_ratio_a_x96:
+        return get_liquidity_for_amount0(sqrt_ratio_a_x96, sqrt_ratio_b_x96, amount0)
+    if sqrt_ratio_x96 < sqrt_ratio_b_x96:
+        liquidity0 = get_liquidity_for_amount0(sqrt_ratio_x96, sqrt_ratio_b_x96, amount0)
+        liquidity1 = get_liquidity_for_amount1(sqrt_ratio_a_x96, sqrt_ratio_x96, amount1)
+        return min(liquidity0, liquidity1)
+    return get_liquidity_for_amount1(sqrt_ratio_a_x96, sqrt_ratio_b_x96, amount1)

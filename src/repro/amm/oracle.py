@@ -1,0 +1,113 @@
+"""Price oracle: time-weighted observations (Uniswap V3 Oracle.sol).
+
+Uniswap V3's headline additions over V2 include the improved oracle: the
+pool records cumulative tick values in a ring buffer so anyone can read a
+time-weighted average price (TWAP) over an arbitrary window without
+trusting a third party.  Appendix C mentions the lens/oracle machinery;
+this module completes the AMM engine with it so downstream users (e.g.
+arbitrage examples, integrations) have the full V3 surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AMMError
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One oracle checkpoint."""
+
+    timestamp: float
+    tick_cumulative: float
+    initialized: bool = True
+
+
+class Oracle:
+    """Ring buffer of tick-cumulative observations.
+
+    ``grow`` expands capacity (cardinality in Uniswap terms), ``write``
+    checkpoints the current tick, and ``tick_cumulative_at`` interpolates
+    or extrapolates the cumulative tick at an arbitrary past time, from
+    which :meth:`consult` derives the TWAP tick.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise AMMError("oracle needs capacity >= 1")
+        self.capacity = capacity
+        self.observations: list[Observation] = []
+
+    def grow(self, new_capacity: int) -> None:
+        """Expand the ring buffer (never shrinks, as on-chain)."""
+        self.capacity = max(self.capacity, new_capacity)
+
+    def initialize(self, timestamp: float) -> None:
+        if self.observations:
+            raise AMMError("oracle already initialized")
+        self.observations.append(
+            Observation(timestamp=timestamp, tick_cumulative=0.0)
+        )
+
+    @property
+    def latest(self) -> Observation:
+        if not self.observations:
+            raise AMMError("oracle not initialized")
+        return self.observations[-1]
+
+    def write(self, timestamp: float, tick: int) -> None:
+        """Checkpoint ``tick`` as having held since the last observation."""
+        last = self.latest
+        if timestamp < last.timestamp:
+            raise AMMError("observations must be time-ordered")
+        if timestamp == last.timestamp:
+            return  # at most one observation per timestamp, as on-chain
+        cumulative = last.tick_cumulative + tick * (timestamp - last.timestamp)
+        self.observations.append(
+            Observation(timestamp=timestamp, tick_cumulative=cumulative)
+        )
+        if len(self.observations) > self.capacity:
+            self.observations.pop(0)
+
+    def tick_cumulative_at(self, timestamp: float, current_tick: int) -> float:
+        """Cumulative tick at ``timestamp`` (interpolated / extrapolated)."""
+        observations = self.observations
+        if not observations:
+            raise AMMError("oracle not initialized")
+        oldest = observations[0]
+        if timestamp < oldest.timestamp:
+            raise AMMError(
+                f"requested time {timestamp} predates oldest observation "
+                f"{oldest.timestamp}"
+            )
+        newest = observations[-1]
+        if timestamp >= newest.timestamp:
+            # Extrapolate: the current tick has held since the last write.
+            return newest.tick_cumulative + current_tick * (
+                timestamp - newest.timestamp
+            )
+        # Binary search for the surrounding pair, then interpolate.
+        lo, hi = 0, len(observations) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if observations[mid].timestamp <= timestamp:
+                lo = mid
+            else:
+                hi = mid
+        before, after = observations[lo], observations[hi]
+        span = after.timestamp - before.timestamp
+        fraction = (timestamp - before.timestamp) / span
+        return before.tick_cumulative + fraction * (
+            after.tick_cumulative - before.tick_cumulative
+        )
+
+    def consult(
+        self, now: float, window: float, current_tick: int
+    ) -> float:
+        """Time-weighted average tick over the trailing ``window`` seconds."""
+        if window <= 0:
+            raise AMMError("TWAP window must be positive")
+        start = self.tick_cumulative_at(now - window, current_tick)
+        end = self.tick_cumulative_at(now, current_tick)
+        return (end - start) / window

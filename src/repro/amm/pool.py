@@ -1,0 +1,446 @@
+"""The liquidity pool: Uniswap V3 core logic in Python.
+
+Implements the complete pool lifecycle — initialize, mint, burn, collect,
+swap (exact input and exact output, both directions, with price limits)
+and flash loans — with the same rounding and fee-accounting behaviour as
+``UniswapV3Pool.sol``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.amm import liquidity_math, sqrt_price_math, swap_math, tick_math
+from repro.amm.fixed_point import Q128, mul_div
+from repro.amm.oracle import Oracle
+from repro.amm.position import PositionInfo, PositionKey
+from repro.amm.tick import TickTable
+from repro.errors import (
+    AMMError,
+    FlashLoanError,
+    LiquidityError,
+    PositionError,
+    SlippageError,
+)
+
+#: Standard fee tiers -> tick spacing, as deployed by the Uniswap factory.
+TICK_SPACING_BY_FEE = {100: 1, 500: 10, 3000: 60, 10000: 200}
+
+
+@dataclass
+class PoolConfig:
+    """Immutable pool parameters."""
+
+    token0: str
+    token1: str
+    fee_pips: int = 3000
+    tick_spacing: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.token0 == self.token1:
+            raise AMMError("pool tokens must differ")
+        if self.tick_spacing is None:
+            spacing = TICK_SPACING_BY_FEE.get(self.fee_pips)
+            if spacing is None:
+                raise AMMError(f"unknown fee tier {self.fee_pips}")
+            self.tick_spacing = spacing
+
+
+@dataclass
+class SwapResult:
+    """Outcome of a swap, amounts signed from the pool's perspective.
+
+    Positive amounts flow *into* the pool, negative amounts are paid out.
+    """
+
+    amount0: int
+    amount1: int
+    sqrt_price_x96: int
+    tick: int
+    liquidity: int
+    fee_paid: int
+
+
+class Pool:
+    """A single token-pair pool."""
+
+    def __init__(self, config: PoolConfig) -> None:
+        self.config = config
+        self.sqrt_price_x96 = 0
+        self.tick = 0
+        self.liquidity = 0
+        self.fee_growth_global0_x128 = 0
+        self.fee_growth_global1_x128 = 0
+        self.ticks = TickTable(config.tick_spacing)
+        self.positions: dict[PositionKey, PositionInfo] = {}
+        #: Pool token reserves tracked for conservation checks.
+        self.balance0 = 0
+        self.balance1 = 0
+        self.initialized = False
+        #: TWAP oracle; swaps that pass a timestamp checkpoint into it.
+        self.oracle = Oracle(capacity=128)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def initialize(self, sqrt_price_x96: int) -> None:
+        """Set the starting price; must be called exactly once."""
+        if self.initialized:
+            raise AMMError("pool already initialized")
+        if not (tick_math.MIN_SQRT_RATIO <= sqrt_price_x96 < tick_math.MAX_SQRT_RATIO):
+            raise AMMError(f"initial sqrt price {sqrt_price_x96} out of range")
+        self.sqrt_price_x96 = sqrt_price_x96
+        self.tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price_x96)
+        self.initialized = True
+        self.oracle.initialize(timestamp=0.0)
+
+    def _require_initialized(self) -> None:
+        if not self.initialized:
+            raise AMMError("pool not initialized")
+
+    # -- liquidity management ----------------------------------------------------
+
+    def mint(
+        self, owner: str, tick_lower: int, tick_upper: int, liquidity: int
+    ) -> tuple[int, int]:
+        """Add ``liquidity`` to a position; returns token amounts owed to pool."""
+        self._require_initialized()
+        if liquidity <= 0:
+            raise LiquidityError(f"mint liquidity must be positive, got {liquidity}")
+        _, amount0, amount1 = self._modify_position(
+            owner, tick_lower, tick_upper, liquidity
+        )
+        self.balance0 += amount0
+        self.balance1 += amount1
+        return amount0, amount1
+
+    def burn(
+        self, owner: str, tick_lower: int, tick_upper: int, liquidity: int
+    ) -> tuple[int, int]:
+        """Remove liquidity; amounts become tokens owed (collect retrieves them)."""
+        self._require_initialized()
+        if liquidity <= 0:
+            raise LiquidityError(f"burn liquidity must be positive, got {liquidity}")
+        position, amount0, amount1 = self._modify_position(
+            owner, tick_lower, tick_upper, -liquidity
+        )
+        amount0, amount1 = -amount0, -amount1
+        if amount0 > 0 or amount1 > 0:
+            position.tokens_owed0 += amount0
+            position.tokens_owed1 += amount1
+        return amount0, amount1
+
+    def collect(
+        self,
+        owner: str,
+        tick_lower: int,
+        tick_upper: int,
+        amount0_requested: int,
+        amount1_requested: int,
+    ) -> tuple[int, int]:
+        """Withdraw owed tokens (fees + burned principal) from a position."""
+        self._require_initialized()
+        key = PositionKey(owner, tick_lower, tick_upper)
+        position = self.positions.get(key)
+        if position is None:
+            raise PositionError(f"no position {key}")
+        amount0 = min(max(amount0_requested, 0), position.tokens_owed0)
+        amount1 = min(max(amount1_requested, 0), position.tokens_owed1)
+        position.tokens_owed0 -= amount0
+        position.tokens_owed1 -= amount1
+        self.balance0 -= amount0
+        self.balance1 -= amount1
+        if (
+            position.liquidity == 0
+            and position.tokens_owed0 == 0
+            and position.tokens_owed1 == 0
+        ):
+            del self.positions[key]
+        return amount0, amount1
+
+    def position(
+        self, owner: str, tick_lower: int, tick_upper: int
+    ) -> PositionInfo | None:
+        return self.positions.get(PositionKey(owner, tick_lower, tick_upper))
+
+    def poke(self, owner: str, tick_lower: int, tick_upper: int) -> PositionInfo:
+        """Refresh a position's fee accounting without changing liquidity.
+
+        Equivalent to Uniswap's burn-of-zero trick used before collects.
+        """
+        position, _, _ = self._modify_position(owner, tick_lower, tick_upper, 0)
+        return position
+
+    def _modify_position(
+        self, owner: str, tick_lower: int, tick_upper: int, liquidity_delta: int
+    ) -> tuple[PositionInfo, int, int]:
+        tick_math.check_tick_range(tick_lower, tick_upper)
+        self.ticks.check_spacing(tick_lower)
+        self.ticks.check_spacing(tick_upper)
+        position = self._update_position(owner, tick_lower, tick_upper, liquidity_delta)
+        amount0 = amount1 = 0
+        if liquidity_delta != 0:
+            if self.tick < tick_lower:
+                amount0 = sqrt_price_math.get_amount0_delta_signed(
+                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
+                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                    liquidity_delta,
+                )
+            elif self.tick < tick_upper:
+                amount0 = sqrt_price_math.get_amount0_delta_signed(
+                    self.sqrt_price_x96,
+                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                    liquidity_delta,
+                )
+                amount1 = sqrt_price_math.get_amount1_delta_signed(
+                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
+                    self.sqrt_price_x96,
+                    liquidity_delta,
+                )
+                self.liquidity = liquidity_math.add_delta(
+                    self.liquidity, liquidity_delta
+                )
+            else:
+                amount1 = sqrt_price_math.get_amount1_delta_signed(
+                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
+                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                    liquidity_delta,
+                )
+        return position, amount0, amount1
+
+    def _update_position(
+        self, owner: str, tick_lower: int, tick_upper: int, liquidity_delta: int
+    ) -> PositionInfo:
+        key = PositionKey(owner, tick_lower, tick_upper)
+        position = self.positions.get(key)
+        if position is None:
+            if liquidity_delta <= 0:
+                raise PositionError(f"no position {key}")
+            position = PositionInfo()
+            self.positions[key] = position
+        if liquidity_delta < 0 and position.liquidity + liquidity_delta < 0:
+            # Check before the tick updates so an over-burn leaves no
+            # partial tick mutations behind.
+            raise LiquidityError(
+                f"burn {-liquidity_delta} exceeds position liquidity "
+                f"{position.liquidity}"
+            )
+        flipped_lower = flipped_upper = False
+        if liquidity_delta != 0:
+            flipped_lower = self.ticks.update(
+                tick_lower,
+                self.tick,
+                liquidity_delta,
+                self.fee_growth_global0_x128,
+                self.fee_growth_global1_x128,
+                upper=False,
+            )
+            flipped_upper = self.ticks.update(
+                tick_upper,
+                self.tick,
+                liquidity_delta,
+                self.fee_growth_global0_x128,
+                self.fee_growth_global1_x128,
+                upper=True,
+            )
+        inside0, inside1 = self.ticks.fee_growth_inside(
+            tick_lower,
+            tick_upper,
+            self.tick,
+            self.fee_growth_global0_x128,
+            self.fee_growth_global1_x128,
+        )
+        position.update(liquidity_delta, inside0, inside1)
+        if liquidity_delta < 0:
+            if flipped_lower:
+                self.ticks.clear(tick_lower)
+            if flipped_upper:
+                self.ticks.clear(tick_upper)
+        return position
+
+    # -- swaps ---------------------------------------------------------------------
+
+    def swap(
+        self,
+        zero_for_one: bool,
+        amount_specified: int,
+        sqrt_price_limit_x96: int | None = None,
+        timestamp: float | None = None,
+    ) -> SwapResult:
+        """Execute a swap.
+
+        ``amount_specified > 0`` is exact input; ``< 0`` is exact output.
+        ``sqrt_price_limit_x96`` bounds the post-swap price (defaults to
+        the extreme ratio in the swap direction).  When ``timestamp`` is
+        given, the pre-swap tick is checkpointed into the TWAP oracle (the
+        Uniswap write-before-move rule).
+        """
+        self._require_initialized()
+        if amount_specified == 0:
+            raise AMMError("swap amount must be non-zero")
+        if sqrt_price_limit_x96 is None:
+            sqrt_price_limit_x96 = (
+                tick_math.MIN_SQRT_RATIO + 1
+                if zero_for_one
+                else tick_math.MAX_SQRT_RATIO - 1
+            )
+        if zero_for_one:
+            if not (
+                tick_math.MIN_SQRT_RATIO < sqrt_price_limit_x96 < self.sqrt_price_x96
+            ):
+                raise SlippageError(
+                    f"price limit {sqrt_price_limit_x96} invalid for zero-for-one"
+                )
+        else:
+            if not (
+                self.sqrt_price_x96 < sqrt_price_limit_x96 < tick_math.MAX_SQRT_RATIO
+            ):
+                raise SlippageError(
+                    f"price limit {sqrt_price_limit_x96} invalid for one-for-zero"
+                )
+
+        if timestamp is not None:
+            self.oracle.write(timestamp, self.tick)
+
+        exact_input = amount_specified > 0
+        amount_remaining = amount_specified
+        amount_calculated = 0
+        sqrt_price = self.sqrt_price_x96
+        tick = self.tick
+        liquidity = self.liquidity
+        fee_growth_global = (
+            self.fee_growth_global0_x128 if zero_for_one else self.fee_growth_global1_x128
+        )
+        total_fee = 0
+
+        while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
+            step_start_price = sqrt_price
+            tick_next, initialized = self.ticks.next_initialized_tick(
+                tick, lte=zero_for_one
+            )
+            if tick_next is None:
+                tick_next = tick_math.MIN_TICK if zero_for_one else tick_math.MAX_TICK
+                initialized = False
+            tick_next = max(tick_math.MIN_TICK, min(tick_math.MAX_TICK, tick_next))
+            sqrt_price_next = tick_math.get_sqrt_ratio_at_tick(tick_next)
+
+            if zero_for_one:
+                target = max(sqrt_price_next, sqrt_price_limit_x96)
+            else:
+                target = min(sqrt_price_next, sqrt_price_limit_x96)
+
+            if liquidity == 0:
+                # No liquidity in range: the price jumps to the target
+                # without exchanging anything.
+                sqrt_price = target
+            else:
+                step = swap_math.compute_swap_step(
+                    sqrt_price, target, liquidity, amount_remaining, self.config.fee_pips
+                )
+                sqrt_price = step.sqrt_price_next_x96
+                total_fee += step.fee_amount
+                if exact_input:
+                    amount_remaining -= step.amount_in + step.fee_amount
+                    amount_calculated -= step.amount_out
+                else:
+                    amount_remaining += step.amount_out
+                    amount_calculated += step.amount_in + step.fee_amount
+                if liquidity > 0:
+                    fee_growth_global = (
+                        fee_growth_global + mul_div(step.fee_amount, Q128, liquidity)
+                    ) % Q128
+
+            if sqrt_price == sqrt_price_next:
+                if initialized:
+                    if zero_for_one:
+                        fg0, fg1 = fee_growth_global, self.fee_growth_global1_x128
+                    else:
+                        fg0, fg1 = self.fee_growth_global0_x128, fee_growth_global
+                    liquidity_net = self.ticks.cross(tick_next, fg0, fg1)
+                    if zero_for_one:
+                        liquidity_net = -liquidity_net
+                    liquidity = liquidity_math.add_delta(liquidity, liquidity_net)
+                tick = tick_next - 1 if zero_for_one else tick_next
+            elif sqrt_price != step_start_price:
+                tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price)
+
+        self.sqrt_price_x96 = sqrt_price
+        self.tick = tick
+        self.liquidity = liquidity
+        if zero_for_one:
+            self.fee_growth_global0_x128 = fee_growth_global
+        else:
+            self.fee_growth_global1_x128 = fee_growth_global
+
+        if zero_for_one == exact_input:
+            amount0 = amount_specified - amount_remaining
+            amount1 = amount_calculated
+        else:
+            amount0 = amount_calculated
+            amount1 = amount_specified - amount_remaining
+        self.balance0 += amount0
+        self.balance1 += amount1
+        return SwapResult(
+            amount0=amount0,
+            amount1=amount1,
+            sqrt_price_x96=sqrt_price,
+            tick=tick,
+            liquidity=liquidity,
+            fee_paid=total_fee,
+        )
+
+    # -- flash loans -----------------------------------------------------------------
+
+    def flash(
+        self,
+        amount0: int,
+        amount1: int,
+        callback: Callable[[int, int], tuple[int, int]],
+    ) -> tuple[int, int]:
+        """Flash-loan ``amount0``/``amount1``; the callback must repay with fees.
+
+        The callback receives the fees owed ``(fee0, fee1)`` and returns the
+        amounts it repays.  Underpayment reverts the whole flash, exactly
+        like the single-transaction semantics on Ethereum (Section IV-B:
+        "the loaned tokens must be returned within one block period or the
+        loan will be inverted").
+        """
+        self._require_initialized()
+        if amount0 < 0 or amount1 < 0:
+            raise FlashLoanError("flash amounts must be non-negative")
+        if amount0 > self.balance0 or amount1 > self.balance1:
+            raise FlashLoanError("flash amount exceeds pool reserves")
+        fee0 = swap_math.mul_div_rounding_up(
+            amount0, self.config.fee_pips, swap_math.FEE_PIPS_DENOMINATOR
+        )
+        fee1 = swap_math.mul_div_rounding_up(
+            amount1, self.config.fee_pips, swap_math.FEE_PIPS_DENOMINATOR
+        )
+        paid0, paid1 = callback(fee0, fee1)
+        if paid0 < amount0 + fee0 or paid1 < amount1 + fee1:
+            raise FlashLoanError("flash loan not repaid with fees")
+        extra0, extra1 = paid0 - amount0, paid1 - amount1
+        if self.liquidity > 0:
+            self.fee_growth_global0_x128 = (
+                self.fee_growth_global0_x128 + mul_div(extra0, Q128, self.liquidity)
+            ) % Q128
+            self.fee_growth_global1_x128 = (
+                self.fee_growth_global1_x128 + mul_div(extra1, Q128, self.liquidity)
+            ) % Q128
+        self.balance0 += extra0
+        self.balance1 += extra1
+        return fee0, fee1
+
+    # -- introspection ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-data snapshot of pool state (used by SnapshotBank)."""
+        return {
+            "sqrt_price_x96": self.sqrt_price_x96,
+            "tick": self.tick,
+            "liquidity": self.liquidity,
+            "fee_growth_global0_x128": self.fee_growth_global0_x128,
+            "fee_growth_global1_x128": self.fee_growth_global1_x128,
+            "balance0": self.balance0,
+            "balance1": self.balance1,
+        }

@@ -1,0 +1,63 @@
+"""Liquidity positions (Position.sol port).
+
+A position is "a data structure ... containing a position ID, the ID (e.g.
+a public key) of the owner, the amount of liquidity tokens the position
+owner provided, and the total amount of fees accrued so far" (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amm.fixed_point import Q128, mul_div
+from repro.errors import LiquidityError, PositionError
+
+
+@dataclass(frozen=True)
+class PositionKey:
+    """Identifies a position by owner and price range."""
+
+    owner: str
+    tick_lower: int
+    tick_upper: int
+
+
+@dataclass
+class PositionInfo:
+    """Per-position accounting (Position.Info in the Solidity core)."""
+
+    liquidity: int = 0
+    fee_growth_inside0_last_x128: int = 0
+    fee_growth_inside1_last_x128: int = 0
+    tokens_owed0: int = 0
+    tokens_owed1: int = 0
+
+    def update(
+        self,
+        liquidity_delta: int,
+        fee_growth_inside0_x128: int,
+        fee_growth_inside1_x128: int,
+    ) -> None:
+        """Apply a liquidity change and credit fees accrued since last touch."""
+        if liquidity_delta == 0 and self.liquidity == 0:
+            raise PositionError("cannot poke a position with no liquidity")
+        new_liquidity = self.liquidity + liquidity_delta
+        if new_liquidity < 0:
+            raise LiquidityError(
+                f"position liquidity underflow: {self.liquidity} + {liquidity_delta}"
+            )
+        owed0 = mul_div(
+            (fee_growth_inside0_x128 - self.fee_growth_inside0_last_x128) % Q128,
+            self.liquidity,
+            Q128,
+        )
+        owed1 = mul_div(
+            (fee_growth_inside1_x128 - self.fee_growth_inside1_last_x128) % Q128,
+            self.liquidity,
+            Q128,
+        )
+        self.liquidity = new_liquidity
+        self.fee_growth_inside0_last_x128 = fee_growth_inside0_x128
+        self.fee_growth_inside1_last_x128 = fee_growth_inside1_x128
+        self.tokens_owed0 += owed0
+        self.tokens_owed1 += owed1

@@ -1,0 +1,92 @@
+"""Swap router: exact-input / exact-output entry points with user protections.
+
+Mirrors the periphery ``SwapRouter``: slippage bounds, price limits and
+deadlines (Section IV-B's swap transaction fields).  The router is pure AMM
+logic — both the baseline L1 contract and the ammBoost sidechain executor
+call through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amm.pool import Pool, SwapResult
+from repro.errors import DeadlineError, SlippageError
+
+
+@dataclass(frozen=True)
+class SwapQuote:
+    """Outcome of a routed swap from the trader's perspective."""
+
+    amount_in: int
+    amount_out: int
+    sqrt_price_after_x96: int
+    fee_paid: int
+
+
+class Router:
+    """Routes swaps into a pool with the standard user protections."""
+
+    def __init__(self, pool: Pool) -> None:
+        self.pool = pool
+
+    def exact_input(
+        self,
+        zero_for_one: bool,
+        amount_in: int,
+        amount_out_minimum: int = 0,
+        sqrt_price_limit_x96: int | None = None,
+        deadline: int | None = None,
+        current_round: int = 0,
+    ) -> SwapQuote:
+        """Swap an exact amount in for as much output as possible."""
+        self._check_deadline(deadline, current_round)
+        if amount_in <= 0:
+            raise SlippageError(f"amount_in must be positive, got {amount_in}")
+        result = self.pool.swap(zero_for_one, amount_in, sqrt_price_limit_x96)
+        amount_out = -(result.amount1 if zero_for_one else result.amount0)
+        if amount_out < amount_out_minimum:
+            raise SlippageError(
+                f"insufficient output: {amount_out} < minimum {amount_out_minimum}"
+            )
+        actual_in = result.amount0 if zero_for_one else result.amount1
+        return SwapQuote(
+            amount_in=actual_in,
+            amount_out=amount_out,
+            sqrt_price_after_x96=result.sqrt_price_x96,
+            fee_paid=result.fee_paid,
+        )
+
+    def exact_output(
+        self,
+        zero_for_one: bool,
+        amount_out: int,
+        amount_in_maximum: int | None = None,
+        sqrt_price_limit_x96: int | None = None,
+        deadline: int | None = None,
+        current_round: int = 0,
+    ) -> SwapQuote:
+        """Swap as little input as possible for an exact amount out."""
+        self._check_deadline(deadline, current_round)
+        if amount_out <= 0:
+            raise SlippageError(f"amount_out must be positive, got {amount_out}")
+        result = self.pool.swap(zero_for_one, -amount_out, sqrt_price_limit_x96)
+        amount_in = result.amount0 if zero_for_one else result.amount1
+        received = -(result.amount1 if zero_for_one else result.amount0)
+        if amount_in_maximum is not None and amount_in > amount_in_maximum:
+            raise SlippageError(
+                f"excessive input: {amount_in} > maximum {amount_in_maximum}"
+            )
+        return SwapQuote(
+            amount_in=amount_in,
+            amount_out=received,
+            sqrt_price_after_x96=result.sqrt_price_x96,
+            fee_paid=result.fee_paid,
+        )
+
+    @staticmethod
+    def _check_deadline(deadline: int | None, current_round: int) -> None:
+        if deadline is not None and current_round > deadline:
+            raise DeadlineError(
+                f"deadline round {deadline} passed (now {current_round})"
+            )

@@ -1,0 +1,138 @@
+"""Sqrt-price transition math (port of Uniswap V3 SqrtPriceMath.sol).
+
+All functions operate on Q64.96 sqrt prices and raw token amounts, with
+the same rounding directions as the Solidity library: rounding always
+favours the pool.
+"""
+
+from __future__ import annotations
+
+from repro.amm.fixed_point import (
+    Q96,
+    div_rounding_up,
+    mul_div,
+    mul_div_rounding_up,
+)
+from repro.errors import AMMError
+
+
+def get_next_sqrt_price_from_amount0_rounding_up(
+    sqrt_price_x96: int, liquidity: int, amount: int, add: bool
+) -> int:
+    """Price after ``amount`` of token0 is added to (or removed from) reserves.
+
+    Adding token0 pushes the price down; the result rounds up so the pool
+    never undercharges.
+    """
+    if amount == 0:
+        return sqrt_price_x96
+    numerator1 = liquidity << 96
+    if add:
+        product = amount * sqrt_price_x96
+        denominator = numerator1 + product
+        return mul_div_rounding_up(numerator1, sqrt_price_x96, denominator)
+    product = amount * sqrt_price_x96
+    if numerator1 <= product:
+        raise AMMError("token0 removal exceeds reserves")
+    denominator = numerator1 - product
+    return mul_div_rounding_up(numerator1, sqrt_price_x96, denominator)
+
+
+def get_next_sqrt_price_from_amount1_rounding_down(
+    sqrt_price_x96: int, liquidity: int, amount: int, add: bool
+) -> int:
+    """Price after ``amount`` of token1 moves; adding token1 pushes price up."""
+    if add:
+        quotient = (amount << 96) // liquidity
+        return sqrt_price_x96 + quotient
+    quotient = div_rounding_up(amount << 96, liquidity)
+    if sqrt_price_x96 <= quotient:
+        raise AMMError("token1 removal exceeds reserves")
+    return sqrt_price_x96 - quotient
+
+
+def get_next_sqrt_price_from_input(
+    sqrt_price_x96: int, liquidity: int, amount_in: int, zero_for_one: bool
+) -> int:
+    """Price after swapping ``amount_in`` of the input token into the pool."""
+    _require_price_and_liquidity(sqrt_price_x96, liquidity)
+    if zero_for_one:
+        return get_next_sqrt_price_from_amount0_rounding_up(
+            sqrt_price_x96, liquidity, amount_in, add=True
+        )
+    return get_next_sqrt_price_from_amount1_rounding_down(
+        sqrt_price_x96, liquidity, amount_in, add=True
+    )
+
+
+def get_next_sqrt_price_from_output(
+    sqrt_price_x96: int, liquidity: int, amount_out: int, zero_for_one: bool
+) -> int:
+    """Price after the pool pays out ``amount_out`` of the output token."""
+    _require_price_and_liquidity(sqrt_price_x96, liquidity)
+    if zero_for_one:
+        return get_next_sqrt_price_from_amount1_rounding_down(
+            sqrt_price_x96, liquidity, amount_out, add=False
+        )
+    return get_next_sqrt_price_from_amount0_rounding_up(
+        sqrt_price_x96, liquidity, amount_out, add=False
+    )
+
+
+def get_amount0_delta(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, liquidity: int, round_up: bool
+) -> int:
+    """Token0 owed across a price range: ``L * (1/sqrt(a) - 1/sqrt(b))``."""
+    if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
+        sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
+    if sqrt_ratio_a_x96 <= 0:
+        raise AMMError("sqrt ratio must be positive")
+    numerator1 = liquidity << 96
+    numerator2 = sqrt_ratio_b_x96 - sqrt_ratio_a_x96
+    if round_up:
+        return div_rounding_up(
+            mul_div_rounding_up(numerator1, numerator2, sqrt_ratio_b_x96),
+            sqrt_ratio_a_x96,
+        )
+    return mul_div(numerator1, numerator2, sqrt_ratio_b_x96) // sqrt_ratio_a_x96
+
+
+def get_amount1_delta(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, liquidity: int, round_up: bool
+) -> int:
+    """Token1 owed across a price range: ``L * (sqrt(b) - sqrt(a))``."""
+    if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
+        sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
+    diff = sqrt_ratio_b_x96 - sqrt_ratio_a_x96
+    if round_up:
+        return mul_div_rounding_up(liquidity, diff, Q96)
+    return mul_div(liquidity, diff, Q96)
+
+
+def get_amount0_delta_signed(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, liquidity: int
+) -> int:
+    """Signed token0 delta for a liquidity change (negative for burns)."""
+    if liquidity < 0:
+        return -get_amount0_delta(
+            sqrt_ratio_a_x96, sqrt_ratio_b_x96, -liquidity, round_up=False
+        )
+    return get_amount0_delta(sqrt_ratio_a_x96, sqrt_ratio_b_x96, liquidity, round_up=True)
+
+
+def get_amount1_delta_signed(
+    sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, liquidity: int
+) -> int:
+    """Signed token1 delta for a liquidity change (negative for burns)."""
+    if liquidity < 0:
+        return -get_amount1_delta(
+            sqrt_ratio_a_x96, sqrt_ratio_b_x96, -liquidity, round_up=False
+        )
+    return get_amount1_delta(sqrt_ratio_a_x96, sqrt_ratio_b_x96, liquidity, round_up=True)
+
+
+def _require_price_and_liquidity(sqrt_price_x96: int, liquidity: int) -> None:
+    if sqrt_price_x96 <= 0:
+        raise AMMError("sqrt price must be positive")
+    if liquidity <= 0:
+        raise AMMError("liquidity must be positive")

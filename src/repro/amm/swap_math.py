@@ -1,0 +1,128 @@
+"""One step of a swap within a single tick range (SwapMath.sol port)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amm.fixed_point import mul_div, mul_div_rounding_up
+from repro.amm.sqrt_price_math import (
+    get_amount0_delta,
+    get_amount1_delta,
+    get_next_sqrt_price_from_input,
+    get_next_sqrt_price_from_output,
+)
+
+#: Fee denominator: fees are expressed in hundredths of a bip (pips).
+FEE_PIPS_DENOMINATOR = 1_000_000
+
+
+@dataclass(frozen=True)
+class SwapStep:
+    """Result of swapping as far as possible toward a target price."""
+
+    sqrt_price_next_x96: int
+    amount_in: int
+    amount_out: int
+    fee_amount: int
+
+
+def compute_swap_step(
+    sqrt_price_current_x96: int,
+    sqrt_price_target_x96: int,
+    liquidity: int,
+    amount_remaining: int,
+    fee_pips: int,
+) -> SwapStep:
+    """Advance the price toward the target given the remaining swap amount.
+
+    ``amount_remaining`` is positive for exact-input swaps (it includes the
+    fee) and negative for exact-output swaps, mirroring the Solidity
+    convention.
+    """
+    zero_for_one = sqrt_price_current_x96 >= sqrt_price_target_x96
+    exact_in = amount_remaining >= 0
+
+    if exact_in:
+        amount_remaining_less_fee = mul_div(
+            amount_remaining, FEE_PIPS_DENOMINATOR - fee_pips, FEE_PIPS_DENOMINATOR
+        )
+        if zero_for_one:
+            amount_in = get_amount0_delta(
+                sqrt_price_target_x96, sqrt_price_current_x96, liquidity, round_up=True
+            )
+        else:
+            amount_in = get_amount1_delta(
+                sqrt_price_current_x96, sqrt_price_target_x96, liquidity, round_up=True
+            )
+        if amount_remaining_less_fee >= amount_in:
+            sqrt_price_next = sqrt_price_target_x96
+        else:
+            sqrt_price_next = get_next_sqrt_price_from_input(
+                sqrt_price_current_x96,
+                liquidity,
+                amount_remaining_less_fee,
+                zero_for_one,
+            )
+    else:
+        if zero_for_one:
+            amount_out = get_amount1_delta(
+                sqrt_price_target_x96, sqrt_price_current_x96, liquidity, round_up=False
+            )
+        else:
+            amount_out = get_amount0_delta(
+                sqrt_price_current_x96, sqrt_price_target_x96, liquidity, round_up=False
+            )
+        if -amount_remaining >= amount_out:
+            sqrt_price_next = sqrt_price_target_x96
+        else:
+            sqrt_price_next = get_next_sqrt_price_from_output(
+                sqrt_price_current_x96, liquidity, -amount_remaining, zero_for_one
+            )
+
+    at_target = sqrt_price_next == sqrt_price_target_x96
+
+    if zero_for_one:
+        if at_target and exact_in:
+            amount_in_final = amount_in
+        else:
+            amount_in_final = get_amount0_delta(
+                sqrt_price_next, sqrt_price_current_x96, liquidity, round_up=True
+            )
+        if at_target and not exact_in:
+            amount_out_final = amount_out
+        else:
+            amount_out_final = get_amount1_delta(
+                sqrt_price_next, sqrt_price_current_x96, liquidity, round_up=False
+            )
+    else:
+        if at_target and exact_in:
+            amount_in_final = amount_in
+        else:
+            amount_in_final = get_amount1_delta(
+                sqrt_price_current_x96, sqrt_price_next, liquidity, round_up=True
+            )
+        if at_target and not exact_in:
+            amount_out_final = amount_out
+        else:
+            amount_out_final = get_amount0_delta(
+                sqrt_price_current_x96, sqrt_price_next, liquidity, round_up=False
+            )
+
+    # Cap the output for exact-output swaps (rounding guard).
+    if not exact_in and amount_out_final > -amount_remaining:
+        amount_out_final = -amount_remaining
+
+    if exact_in and not at_target:
+        # Everything left over after the in-amount is the fee.
+        fee_amount = amount_remaining - amount_in_final
+    else:
+        fee_amount = mul_div_rounding_up(
+            amount_in_final, fee_pips, FEE_PIPS_DENOMINATOR - fee_pips
+        )
+
+    return SwapStep(
+        sqrt_price_next_x96=sqrt_price_next,
+        amount_in=amount_in_final,
+        amount_out=amount_out_final,
+        fee_amount=fee_amount,
+    )

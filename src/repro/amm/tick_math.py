@@ -1,0 +1,99 @@
+"""Tick math: conversions between tick indices and Q64.96 sqrt prices.
+
+``get_sqrt_ratio_at_tick`` is a direct port of Uniswap V3's ``TickMath.sol``
+(the magic-constant ladder computes ``sqrt(1.0001^tick) * 2^96`` exactly).
+``get_tick_at_sqrt_ratio`` is implemented as a binary search over the
+forward function, which is exact by construction and avoids porting the
+log2 bit-twiddling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TickError
+
+#: Tick bounds: price range ~ [2^-128, 2^128].
+MIN_TICK = -887272
+MAX_TICK = 887272
+
+#: sqrt ratios at the tick bounds (uint160 Q64.96).
+MIN_SQRT_RATIO = 4295128739
+MAX_SQRT_RATIO = 1461446703485210103287273052203988822378723970342
+
+_MAX_UINT256 = (1 << 256) - 1
+
+# (bit, multiplier) ladder from TickMath.sol.  Each multiplier is
+# sqrt(1.0001)^(-bit) in Q128.128.
+_TICK_STEPS = (
+    (0x2, 0xFFF97272373D413259A46990580E213A),
+    (0x4, 0xFFF2E50F5F656932EF12357CF3C7FDCC),
+    (0x8, 0xFFE5CACA7E10E4E61C3624EAA0941CD0),
+    (0x10, 0xFFCB9843D60F6159C9DB58835C926644),
+    (0x20, 0xFF973B41FA98C081472E6896DFB254C0),
+    (0x40, 0xFF2EA16466C96A3843EC78B326B52861),
+    (0x80, 0xFE5DEE046A99A2A811C461F1969C3053),
+    (0x100, 0xFCBE86C7900A88AEDCFFC83B479AA3A4),
+    (0x200, 0xF987A7253AC413176F2B074CF7815E54),
+    (0x400, 0xF3392B0822B70005940C7A398E4B70F3),
+    (0x800, 0xE7159475A2C29B7443B29C7FA6E889D9),
+    (0x1000, 0xD097F3BDFD2022B8845AD8F792AA5825),
+    (0x2000, 0xA9F746462D870FDF8A65DC1F90E061E5),
+    (0x4000, 0x70D869A156D2A1B890BB3DF62BAF32F7),
+    (0x8000, 0x31BE135F97D08FD981231505542FCFA6),
+    (0x10000, 0x9AA508B5B7A84E1C677DE54F3E99BC9),
+    (0x20000, 0x5D6AF8DEDB81196699C329225EE604),
+    (0x40000, 0x2216E584F5FA1EA926041BEDFE98),
+    (0x80000, 0x48A170391F7DC42444E8FA2),
+)
+
+
+def check_tick(tick: int) -> None:
+    """Raise :class:`TickError` if ``tick`` is out of bounds."""
+    if not (MIN_TICK <= tick <= MAX_TICK):
+        raise TickError(f"tick {tick} outside [{MIN_TICK}, {MAX_TICK}]")
+
+
+def check_tick_range(tick_lower: int, tick_upper: int) -> None:
+    """Validate a position's price range."""
+    check_tick(tick_lower)
+    check_tick(tick_upper)
+    if tick_lower >= tick_upper:
+        raise TickError(f"tick_lower {tick_lower} must be below tick_upper {tick_upper}")
+
+
+def get_sqrt_ratio_at_tick(tick: int) -> int:
+    """``sqrt(1.0001^tick) * 2^96`` as a Q64.96 integer (exact port)."""
+    check_tick(tick)
+    abs_tick = abs(tick)
+    if abs_tick & 0x1:
+        ratio = 0xFFFCB933BD6FAD37AA2D162D1A594001
+    else:
+        ratio = 0x100000000000000000000000000000000
+    for bit, multiplier in _TICK_STEPS:
+        if abs_tick & bit:
+            ratio = (ratio * multiplier) >> 128
+    if tick > 0:
+        ratio = _MAX_UINT256 // ratio
+    # Q128.128 -> Q64.96, rounding up.
+    sqrt_price = ratio >> 32
+    if ratio % (1 << 32):
+        sqrt_price += 1
+    return sqrt_price
+
+
+def get_tick_at_sqrt_ratio(sqrt_price_x96: int) -> int:
+    """The greatest tick whose sqrt ratio is <= ``sqrt_price_x96``.
+
+    Matches TickMath.getTickAtSqrtRatio's contract exactly, including the
+    requirement that the input lie in ``[MIN_SQRT_RATIO, MAX_SQRT_RATIO)``.
+    """
+    if not (MIN_SQRT_RATIO <= sqrt_price_x96 < MAX_SQRT_RATIO):
+        raise TickError(f"sqrt price {sqrt_price_x96} out of range")
+    lo, hi = MIN_TICK, MAX_TICK
+    # Invariant: ratio(lo) <= sqrt_price < ratio(hi + 1).
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if get_sqrt_ratio_at_tick(mid) <= sqrt_price_x96:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,11 @@
+"""Baselines the paper compares against: Uniswap on L1 and ammOP."""
+
+from repro.baselines.ammop import AmmOpConfig, AmmOpRollup
+from repro.baselines.uniswap_l1 import UniswapL1Baseline, UniswapL1Config
+
+__all__ = [
+    "AmmOpConfig",
+    "AmmOpRollup",
+    "UniswapL1Baseline",
+    "UniswapL1Config",
+]

@@ -1,0 +1,219 @@
+"""The paper's functional interface (Section III), as a facade.
+
+The paper specifies ammBoost as eight functionalities — ``SystemSetup``,
+``PartySetup``, ``CreateTx``, ``VerifyTx``, ``VerifyBlock``,
+``UpdateState``, ``Elect`` and ``Prune``.  This module exposes exactly
+that interface on top of the concrete implementation, so the code can be
+read side-by-side with the paper's formalisation (and so integrators get
+a small, stable surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import constants
+from repro.core.transactions import (
+    BurnTx,
+    CollectTx,
+    DepositRequest,
+    MintTx,
+    SidechainTx,
+    SwapTx,
+    TxType,
+)
+from repro.crypto.hashing import keccak256
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.crypto.vrf import VrfKeyPair, vrf_keygen
+from repro.amm import tick_math
+from repro.errors import ConfigurationError
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+from repro.sidechain.chain import SidechainLedger
+from repro.sidechain.election import Committee, elect_committee
+
+
+@dataclass
+class PublicParameters:
+    """The ``pp`` output of SystemSetup."""
+
+    epoch_length: int = constants.DEFAULT_ROUNDS_PER_EPOCH
+    round_duration: float = constants.DEFAULT_ROUND_DURATION_S
+    committee_size: int = constants.DEFAULT_COMMITTEE_SIZE
+    meta_block_size: int = constants.DEFAULT_META_BLOCK_SIZE
+    token_bank_address: str = "tokenbank"
+    genesis_reference: bytes = b""
+
+
+@dataclass
+class PartyState:
+    """The ``state`` output of PartySetup."""
+
+    role: str
+    keypair: KeyPair
+    vrf: VrfKeyPair | None = None
+    ledger_view: SidechainLedger | None = None
+
+    @property
+    def pk(self) -> int:
+        return self.keypair.pk
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+
+def system_setup(
+    security_parameter: int, mainchain_block_hash: bytes, **overrides
+) -> tuple[PublicParameters, SidechainLedger]:
+    """``SystemSetup(1^λ, L_mc) → (pp, L⁰_sc)`` (Figure 2).
+
+    Configures the public parameters and returns the genesis sidechain
+    ledger referencing the mainchain block carrying TokenBank.
+    """
+    if security_parameter < 80:
+        raise ConfigurationError(
+            f"security parameter too small: {security_parameter}"
+        )
+    pp = PublicParameters(
+        genesis_reference=keccak256(b"genesis", mainchain_block_hash),
+        **overrides,
+    )
+    return pp, SidechainLedger()
+
+
+def party_setup(pp: PublicParameters, role: str, seed) -> PartyState:
+    """``PartySetup(pp) → state``: keypair, plus VRF keys and a ledger
+    view for miners."""
+    if role not in ("client", "lp", "miner"):
+        raise ConfigurationError(f"unknown role {role}")
+    keypair = generate_keypair(seed)
+    if role == "miner":
+        return PartyState(
+            role=role,
+            keypair=keypair,
+            vrf=vrf_keygen(seed),
+            ledger_view=SidechainLedger(),
+        )
+    return PartyState(role=role, keypair=keypair)
+
+
+def create_tx(txtype: TxType | str, **aux) -> SidechainTx | DepositRequest:
+    """``CreateTx(txtype, aux) → tx`` for every paper transaction type."""
+    if isinstance(txtype, str):
+        txtype = TxType(txtype)
+    if txtype is TxType.SWAP:
+        return SwapTx(**aux)
+    if txtype is TxType.MINT:
+        return MintTx(**aux)
+    if txtype is TxType.BURN:
+        return BurnTx(**aux)
+    if txtype is TxType.COLLECT:
+        return CollectTx(**aux)
+    if txtype is TxType.DEPOSIT:
+        return DepositRequest(**aux)
+    raise ConfigurationError(f"CreateTx does not build {txtype} transactions")
+
+
+def verify_tx(tx: Any) -> bool:
+    """``VerifyTx(tx) → 0/1``: syntactic/semantic validity per type.
+
+    This is the stateless predicate; deposit coverage and ownership are
+    stateful and enforced by the executor at processing time.
+    """
+    if isinstance(tx, SwapTx):
+        if tx.amount <= 0 or not tx.user:
+            return False
+        if tx.amount_limit is not None and tx.amount_limit < 0:
+            return False
+        return True
+    if isinstance(tx, MintTx):
+        if not tx.user or tx.amount0_desired < 0 or tx.amount1_desired < 0:
+            return False
+        if tx.amount0_desired == 0 and tx.amount1_desired == 0:
+            return False
+        if tx.position_id is None:
+            try:
+                tick_math.check_tick_range(tx.tick_lower, tx.tick_upper)
+            except Exception:
+                return False
+        return True
+    if isinstance(tx, BurnTx):
+        if not tx.user or not tx.position_id:
+            return False
+        return tx.liquidity is None or tx.liquidity > 0
+    if isinstance(tx, CollectTx):
+        if not tx.user or not tx.position_id:
+            return False
+        ok0 = tx.amount0 is None or tx.amount0 >= 0
+        ok1 = tx.amount1 is None or tx.amount1 >= 0
+        return ok0 and ok1
+    if isinstance(tx, DepositRequest):
+        return tx.amount0 >= 0 and tx.amount1 >= 0 and (tx.amount0 or tx.amount1) > 0
+    return False
+
+
+def verify_block(ledger: SidechainLedger, block: Any, btype: str) -> bool:
+    """``VerifyBlock(L_sc, B, btype) → 0/1``."""
+    if btype == "meta":
+        if not isinstance(block, MetaBlock):
+            return False
+        if block.epoch < 0 or block.round_index < 0:
+            return False
+        # The sealed commitment must match the carried transactions.
+        expected = MetaBlock(
+            epoch=block.epoch,
+            round_index=block.round_index,
+            transactions=block.transactions,
+        )
+        expected.seal()
+        if expected.tx_root != block.tx_root:
+            return False
+        return all(verify_tx(tx) for tx in block.transactions)
+    if btype == "summary":
+        if not isinstance(block, SummaryBlock):
+            return False
+        if block.epoch in ledger.summary_blocks:
+            return False
+        live = ledger.live_meta_blocks(block.epoch)
+        return block.meta_block_hashes == tuple(b.block_hash for b in live)
+    return False
+
+
+def update_state(ledger: SidechainLedger, block: Any, btype: str) -> SidechainLedger:
+    """``UpdateState(L_sc, aux, btype) → L'_sc``: append a verified block."""
+    if not verify_block(ledger, block, btype):
+        raise ConfigurationError(f"invalid {btype} block for epoch {block.epoch}")
+    if btype == "meta":
+        ledger.append_meta_block(block)
+    else:
+        ledger.append_summary_block(block)
+    return ledger
+
+
+def elect(
+    miners: dict[str, PartyState],
+    epoch: int,
+    seed: bytes,
+    committee_size: int,
+) -> tuple[Committee, str]:
+    """``Elect(L_sc) → (C, leader)``: sortition over the miner states."""
+    vrf_keys = {}
+    for name, state in miners.items():
+        if state.vrf is None:
+            raise ConfigurationError(f"{name} is not a miner")
+        vrf_keys[name] = state.vrf
+    committee = elect_committee(
+        miners=vrf_keys,
+        stakes={name: 1.0 for name in miners},
+        epoch=epoch,
+        seed=seed,
+        committee_size=committee_size,
+    )
+    return committee, committee.leader()
+
+
+def prune(ledger: SidechainLedger) -> SidechainLedger:
+    """``Prune(L_sc) → L'_sc``: drop all stale (synced) meta-blocks."""
+    ledger.prune_all_synced()
+    return ledger

@@ -1,0 +1,77 @@
+"""User-side epoch deposit planning.
+
+Section IV's epoch-based deposit mechanism requires each user to deposit
+"the anticipated amount of tokens needed to back up her issued
+transactions during an epoch" *before* the epoch starts.  Anticipating
+that amount is the user's (wallet's) job; this module provides the simple
+estimator a wallet would ship: an exponentially weighted moving average of
+per-epoch spending with a safety head-room factor, floored by a minimum
+stake so a quiet epoch does not strand the user without trading power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DepositPlan:
+    """What the wallet should top up before the next epoch."""
+
+    target0: int
+    target1: int
+    current0: int
+    current1: int
+
+    @property
+    def topup0(self) -> int:
+        return max(0, self.target0 - self.current0)
+
+    @property
+    def topup1(self) -> int:
+        return max(0, self.target1 - self.current1)
+
+    @property
+    def needs_deposit(self) -> bool:
+        return self.topup0 > 0 or self.topup1 > 0
+
+
+@dataclass
+class DepositPlanner:
+    """EWMA-based estimator of next-epoch deposit needs.
+
+    ``headroom`` scales the estimate so bursts do not get transactions
+    rejected for coverage (a rejected transaction wastes a whole epoch of
+    latency); ``minimum`` keeps a floor for newly active users.
+    """
+
+    alpha: float = 0.3
+    headroom: float = 2.0
+    minimum: int = 10**15
+    _ewma0: float = field(default=0.0, init=False)
+    _ewma1: float = field(default=0.0, init=False)
+    _observed: bool = field(default=False, init=False)
+
+    def observe_epoch(self, spent0: int, spent1: int) -> None:
+        """Record what the user actually spent during the last epoch."""
+        if spent0 < 0 or spent1 < 0:
+            raise ValueError("spending must be non-negative")
+        if not self._observed:
+            self._ewma0, self._ewma1 = float(spent0), float(spent1)
+            self._observed = True
+            return
+        self._ewma0 = self.alpha * spent0 + (1 - self.alpha) * self._ewma0
+        self._ewma1 = self.alpha * spent1 + (1 - self.alpha) * self._ewma1
+
+    def plan(self, current0: int, current1: int) -> DepositPlan:
+        """The next epoch's target deposit given current balances."""
+        target0 = max(self.minimum, round(self._ewma0 * self.headroom))
+        target1 = max(self.minimum, round(self._ewma1 * self.headroom))
+        return DepositPlan(
+            target0=target0, target1=target1, current0=current0, current1=current1
+        )
+
+
+def epoch_spending(initial: tuple[int, int], final: tuple[int, int]) -> tuple[int, int]:
+    """Net tokens consumed over an epoch (zero-floored per token)."""
+    return max(0, initial[0] - final[0]), max(0, initial[1] - final[1])

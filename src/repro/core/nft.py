@@ -1,0 +1,118 @@
+"""NFT-based liquidity positions (the paper's Remark 3 extension).
+
+Uniswap V3 wraps positions in ERC721 tokens so ownership can be verified
+and transferred on-chain.  Remark 3 sketches how ammBoost can adopt this:
+TokenBank wraps each position in an NFT, but — because NFT creation is a
+mainchain operation — "creating an NFT will wait until the end of the
+epoch", i.e. it happens when the Sync that records the position confirms.
+Transfers happen on the mainchain and reach the sidechain executor at the
+next epoch boundary, exactly like fresh deposits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.token_bank import TokenBank
+from repro.errors import RevertError
+from repro.mainchain.contracts.base import CallContext, Contract
+
+#: Gas for an ERC721 mint (two storage slots + event).
+GAS_NFT_MINT = 48_000
+#: Gas for an ERC721 transfer.
+GAS_NFT_TRANSFER = 36_000
+
+
+@dataclass
+class PositionNft:
+    """One ERC721 token wrapping a TokenBank position."""
+
+    token_id: int
+    position_id: str
+    owner: str
+
+
+class PositionNftRegistry(Contract):
+    """ERC721-style registry over TokenBank's synced positions.
+
+    Wire it to a TokenBank and call :meth:`on_position_synced` from the
+    sync path (the ``AmmBoostSystem`` does this when the extension is
+    enabled): new positions get their NFT minted at the epoch boundary;
+    transfers re-point the TokenBank entry's owner so the next epoch's
+    sidechain snapshot sees the new owner.
+    """
+
+    def __init__(self, token_bank: TokenBank, address: str = "position-nft") -> None:
+        super().__init__(address)
+        self.token_bank = token_bank
+        self.tokens: dict[int, PositionNft] = {}
+        self.token_by_position: dict[str, int] = {}
+        self._next_token_id = 1
+        #: Ownership changes since the last epoch boundary, consumed by the
+        #: system's snapshot merge: ``(position_id, new_owner)``.
+        self.ownership_events: list[tuple[str, str]] = []
+
+    # -- minting (sync path) -----------------------------------------------------
+
+    def on_position_synced(self, ctx: CallContext, position_id: str) -> int:
+        """Mint the wrapping NFT for a newly synced position.
+
+        Idempotent: re-syncs of the same position (mass-sync after a
+        rollback) keep the existing token.
+        """
+        existing = self.token_by_position.get(position_id)
+        if existing is not None:
+            return existing
+        entry = self.token_bank.positions.get(position_id)
+        if entry is None:
+            raise RevertError(f"no synced position {position_id}")
+        token_id = self._next_token_id
+        self._next_token_id += 1
+        self.tokens[token_id] = PositionNft(
+            token_id=token_id, position_id=position_id, owner=entry.owner
+        )
+        self.token_by_position[position_id] = token_id
+        ctx.gas.charge(GAS_NFT_MINT, "nft-mint")
+        return token_id
+
+    def on_position_deleted(self, position_id: str) -> None:
+        """Burn the NFT when its position is fully withdrawn."""
+        token_id = self.token_by_position.pop(position_id, None)
+        if token_id is not None:
+            del self.tokens[token_id]
+
+    # -- ERC721 surface --------------------------------------------------------------
+
+    def owner_of(self, token_id: int) -> str:
+        token = self.tokens.get(token_id)
+        if token is None:
+            raise RevertError(f"no NFT {token_id}")
+        return token.owner
+
+    def token_of(self, position_id: str) -> int | None:
+        return self.token_by_position.get(position_id)
+
+    def transfer(self, ctx: CallContext, token_id: int, to: str) -> None:
+        """Transfer position ownership on the mainchain.
+
+        The sidechain sees the new owner at the next epoch boundary
+        (Remark 3: operations on transferred positions wait one epoch).
+        """
+        token = self.tokens.get(token_id)
+        if token is None:
+            raise RevertError(f"no NFT {token_id}")
+        if token.owner != ctx.sender:
+            raise RevertError(f"{ctx.sender} does not own NFT {token_id}")
+        if not to:
+            raise RevertError("transfer to empty address")
+        token.owner = to
+        entry = self.token_bank.positions.get(token.position_id)
+        if entry is not None:
+            entry.owner = to
+        self.ownership_events.append((token.position_id, to))
+        ctx.gas.charge(GAS_NFT_TRANSFER, "nft-transfer")
+
+    def drain_ownership_events(self) -> list[tuple[str, str]]:
+        """Hand pending ownership changes to the epoch-boundary merge."""
+        events, self.ownership_events = self.ownership_events, []
+        return events

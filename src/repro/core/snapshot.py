@@ -1,0 +1,47 @@
+"""SnapshotBank: epoch-start state retrieval from the mainchain.
+
+The committee "begins the epoch by retrieving the latest state, i.e. pool
+token balances, liquidity positions, and user deposits from the
+mainchain" (Section IV-B).  Pool balances are only fetched for newly
+created pools; thereafter the sidechain evolves them itself (Section V,
+SnapshotBank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.token_bank import TokenBank
+
+
+@dataclass
+class EpochSnapshot:
+    """What the committee pulls from TokenBank at an epoch boundary."""
+
+    epoch: int
+    deposits: dict[str, list[int]] = field(default_factory=dict)
+    pool_balance0: int = 0
+    pool_balance1: int = 0
+    #: True the first time a pool is seen; afterwards the sidechain keeps
+    #: computing balances itself and ignores the mainchain copy.
+    pool_is_fresh: bool = False
+
+
+class SnapshotBank:
+    """Reads TokenBank state for the epoch committee."""
+
+    def __init__(self, token_bank: TokenBank) -> None:
+        self.token_bank = token_bank
+        self._seen_pool = False
+
+    def take(self, epoch: int) -> EpochSnapshot:
+        """Snapshot deposits (always) and pool balances (first epoch only)."""
+        fresh = not self._seen_pool
+        self._seen_pool = True
+        return EpochSnapshot(
+            epoch=epoch,
+            deposits=self.token_bank.snapshot_deposits(),
+            pool_balance0=self.token_bank.pool_balance0,
+            pool_balance1=self.token_bank.pool_balance1,
+            pool_is_fresh=fresh,
+        )

@@ -1,0 +1,181 @@
+"""Summary rules (Figure 4): fold an epoch's meta-blocks into lists.
+
+The committee summarises the epoch's traffic into
+
+* ``sumPayouts`` — every active user's updated deposit balance, and
+* ``sumPositions`` — every touched liquidity position's net changes,
+
+which together with the updated pool balance form the ``Sync`` inputs.
+
+Note on Figure 4: the paper's pseudocode credits ``Deposits[...].amntB``
+on a mint (``+=``), which would create tokens out of thin air; minting
+consumes both tokens, so this implementation deducts both (the rest of
+the paper's text — "all provided liquidity token amounts are deducted
+from their deposits" — confirms the ``+=`` is a typo).  Conservation is
+enforced by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro import constants
+from repro.core.transactions import BurnTx, CollectTx, MintTx, SidechainTx, SwapTx
+from repro.errors import SyncValidationError
+from repro.sidechain.blocks import MetaBlock
+
+
+@dataclass
+class PayoutEntry:
+    """One user's updated deposit balance (``sumPayouts`` row)."""
+
+    user: str
+    balance0: int
+    balance1: int
+
+    SIZE_SIDECHAIN = constants.SIZE_PAYOUT_ENTRY_SIDECHAIN
+    SIZE_MAINCHAIN = constants.SIZE_PAYOUT_ENTRY_MAINCHAIN
+
+
+@dataclass
+class PositionDelta:
+    """One touched position's net change (``sumPositions`` row)."""
+
+    position_id: str
+    owner: str
+    tick_lower: int
+    tick_upper: int
+    #: Net liquidity change over the epoch (positive mints, negative burns).
+    liquidity_delta: int
+    #: Absolute liquidity after the epoch (0 means fully withdrawn).
+    liquidity_after: int
+    #: Fees still owed to the position after the epoch's collects.
+    fees_owed0: int = 0
+    fees_owed1: int = 0
+    #: Marks a fully withdrawn position TokenBank must delete.
+    deleted: bool = False
+
+    SIZE_SIDECHAIN = constants.SIZE_POSITION_ENTRY_SIDECHAIN
+    SIZE_MAINCHAIN = constants.SIZE_POSITION_ENTRY_MAINCHAIN
+
+
+@dataclass
+class EpochSummary:
+    """Everything an epoch's Sync call carries for one epoch."""
+
+    epoch: int
+    payouts: list[PayoutEntry] = field(default_factory=list)
+    positions: list[PositionDelta] = field(default_factory=list)
+    #: Updated pool token balances as tracked by the sidechain.
+    pool_balance0: int = 0
+    pool_balance1: int = 0
+    #: Pool price state so a fresh committee can resume without replay.
+    pool_sqrt_price_x96: int = 0
+
+    @property
+    def sidechain_size_bytes(self) -> int:
+        """Binary-packed size inside a summary-block (Table IV)."""
+        return (
+            len(self.payouts) * PayoutEntry.SIZE_SIDECHAIN
+            + len(self.positions) * PositionDelta.SIZE_SIDECHAIN
+        )
+
+    @property
+    def mainchain_size_bytes(self) -> int:
+        """ABI-encoded size inside a Sync transaction (Table IV)."""
+        return (
+            len(self.payouts) * PayoutEntry.SIZE_MAINCHAIN
+            + len(self.positions) * PositionDelta.SIZE_MAINCHAIN
+        )
+
+
+def summarize_epoch(
+    epoch: int,
+    meta_blocks: Sequence[MetaBlock],
+    initial_deposits: dict[str, list[int]],
+    pool_balance0: int,
+    pool_balance1: int,
+    pool_sqrt_price_x96: int = 0,
+) -> EpochSummary:
+    """Apply the Figure 4 summary rules to an epoch's meta-blocks.
+
+    Replays the recorded execution *effects* of every accepted transaction
+    (the committee validated them when mining the meta-blocks), folding
+    them into updated deposits and net position changes.  This is the
+    independent path the tests cross-check against the executor's live
+    state — the two must agree exactly.
+    """
+    deposits = {user: list(bal) for user, bal in initial_deposits.items()}
+    positions: dict[str, PositionDelta] = {}
+
+    for block in meta_blocks:
+        if block.epoch != epoch:
+            raise SyncValidationError(
+                f"meta-block from epoch {block.epoch} in summary for {epoch}"
+            )
+        for tx in block.transactions:
+            if not tx.accepted:
+                continue
+            _fold_tx(tx, deposits, positions)
+
+    payouts = [
+        PayoutEntry(user=user, balance0=bal[0], balance1=bal[1])
+        for user, bal in sorted(deposits.items())
+    ]
+    return EpochSummary(
+        epoch=epoch,
+        payouts=payouts,
+        positions=[positions[k] for k in sorted(positions)],
+        pool_balance0=pool_balance0,
+        pool_balance1=pool_balance1,
+        pool_sqrt_price_x96=pool_sqrt_price_x96,
+    )
+
+
+def _fold_tx(
+    tx: SidechainTx,
+    deposits: dict[str, list[int]],
+    positions: dict[str, PositionDelta],
+) -> None:
+    effects = tx.effects
+    balance = deposits.setdefault(tx.user, [0, 0])
+
+    if isinstance(tx, SwapTx):
+        balance[0] += effects["delta0"]
+        balance[1] += effects["delta1"]
+        return
+
+    position_id = effects["position_id"]
+    entry = positions.get(position_id)
+    if entry is None:
+        entry = PositionDelta(
+            position_id=position_id,
+            owner=effects["owner"],
+            tick_lower=effects["tick_lower"],
+            tick_upper=effects["tick_upper"],
+            liquidity_delta=0,
+            liquidity_after=effects["liquidity_before"],
+        )
+        positions[position_id] = entry
+
+    if isinstance(tx, MintTx):
+        entry.liquidity_delta += effects["liquidity_delta"]
+        entry.liquidity_after += effects["liquidity_delta"]
+        balance[0] -= effects["amount0"]
+        balance[1] -= effects["amount1"]
+    elif isinstance(tx, BurnTx):
+        entry.liquidity_delta -= effects["liquidity_delta"]
+        entry.liquidity_after -= effects["liquidity_delta"]
+        balance[0] += effects["amount0"]
+        balance[1] += effects["amount1"]
+        if entry.liquidity_after == 0 and effects.get("deleted"):
+            entry.deleted = True
+    elif isinstance(tx, CollectTx):
+        balance[0] += effects["amount0"]
+        balance[1] += effects["amount1"]
+    else:
+        raise SyncValidationError(f"unknown sidechain tx type {type(tx).__name__}")
+
+    entry.fees_owed0 = effects.get("fees_owed0", entry.fees_owed0)
+    entry.fees_owed1 = effects.get("fees_owed1", entry.fees_owed1)

@@ -1,0 +1,647 @@
+"""The ammBoost deployment orchestrator (epoch-level fidelity).
+
+Wires every substrate together — the mainchain with TokenBank and the
+ERC20 pair, the AMM engine, the sidechain ledger, per-epoch committee
+election + DKG + key hand-over, TSQC-authenticated syncing, pruning, and
+metric collection — and runs the paper's experiment loop:
+
+* rounds of fixed duration; transactions arrive at the round start at the
+  paper's rate ``rho = ceil(V_D * bt / 86400)``;
+* every round but the last of an epoch mines a meta-block packed by byte
+  capacity; the last round mines the summary-block (which is why measured
+  throughput approaches ``capacity * (omega - 1) / omega`` — the shape of
+  Table X);
+* the epoch's Sync call is submitted to the mainchain, and once confirmed
+  the epoch's meta-blocks are pruned and payout latencies recorded;
+* after the configured epochs the queue is drained (the paper's "empty
+  the transaction queues after the end of each run").
+
+Interruptions (failed sync leaders via ``fail_sync_epochs``; mainchain
+rollbacks via :meth:`AmmBoostSystem.inject_mainchain_rollback`) are
+recovered by mass-syncing with key hand-over certificates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.pool import Pool, PoolConfig
+from repro.core.executor import SidechainExecutor
+from repro.core.snapshot import SnapshotBank
+from repro.core.summary import EpochSummary, summarize_epoch
+from repro.core.sync import KeyHandover, SyncPayload, TsqcAuthenticator, create_tx_sync
+from repro.core.token_bank import TokenBank
+from repro.core.transactions import BurnTx, MintTx, SidechainTx
+from repro.crypto.dkg import simulate_dkg
+from repro.crypto.hashing import keccak256
+from repro.crypto.vrf import vrf_keygen
+from repro.errors import ConfigurationError
+from repro.mainchain.chain import Mainchain
+from repro.mainchain.contracts.erc20 import ERC20Token
+from repro.mainchain.transactions import MainchainTransaction, TxStatus
+from repro.metrics.collector import MetricsCollector
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+from repro.sidechain.chain import SidechainLedger
+from repro.sidechain.election import Committee, elect_committee
+from repro.sidechain.timing import AgreementTimeModel
+from repro.simulation.clock import SimClock
+from repro.simulation.rng import DeterministicRng
+# Imported lazily inside __init__ to avoid a package-import cycle
+# (workload.generator uses repro.core.transactions).
+from repro.workload.distribution import TrafficDistribution
+
+
+@dataclass
+class AmmBoostConfig:
+    """Deployment parameters (defaults are the paper's Section VI-A)."""
+
+    round_duration: float = constants.DEFAULT_ROUND_DURATION_S
+    rounds_per_epoch: int = constants.DEFAULT_ROUNDS_PER_EPOCH
+    meta_block_size: int = constants.DEFAULT_META_BLOCK_SIZE
+    committee_size: int = constants.DEFAULT_COMMITTEE_SIZE
+    num_users: int = constants.DEFAULT_NUM_USERS
+    daily_volume: int = constants.DEFAULT_DAILY_VOLUME
+    seed: int = 0
+    fee_pips: int = 3000
+    #: Miner population the committee is drawn from.
+    miner_population: int | None = None
+    #: Per-user epoch deposit (both tokens).  Large enough that the default
+    #: experiments never reject for coverage, matching the paper's setup.
+    initial_deposit: int = 10**24
+    #: Bootstrap LP position so swaps have liquidity from round one.
+    bootstrap_amount: int = 10**22
+    #: Epochs whose leader maliciously withholds the Sync call (recovered
+    #: by mass-syncing in the following epoch).
+    fail_sync_epochs: set[int] = field(default_factory=set)
+    #: Remark-3 extension: wrap synced positions in transferable NFTs.
+    enable_nft_positions: bool = False
+    #: Cap on drain epochs after traffic stops (guards runaway runs).
+    max_drain_epochs: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.rounds_per_epoch < 2:
+            raise ConfigurationError("an epoch needs at least 2 rounds")
+        if self.round_duration <= 0:
+            raise ConfigurationError("round duration must be positive")
+        if self.meta_block_size < 2000:
+            raise ConfigurationError("meta-block size too small for any tx")
+        if self.miner_population is None:
+            self.miner_population = max(2 * self.committee_size, 16)
+        if self.miner_population < self.committee_size:
+            raise ConfigurationError("miner population smaller than committee")
+
+
+@dataclass
+class _PendingSync:
+    """A submitted Sync transaction awaiting mainchain confirmation."""
+
+    tx: MainchainTransaction
+    payload: SyncPayload
+    epochs: list[int]
+    signer_epoch: int
+    #: TokenBank state and key-epoch captured before submission, restored
+    #: if the sync's block is abandoned by a rollback.
+    pre_state: dict = field(default_factory=dict)
+    pre_vkc_epoch: int = 0
+
+
+class AmmBoostSystem:
+    """A complete ammBoost deployment over simulated substrates."""
+
+    TOKEN0 = "TKA"
+    TOKEN1 = "TKB"
+
+    def __init__(
+        self,
+        config: AmmBoostConfig | None = None,
+        distribution: TrafficDistribution | None = None,
+    ) -> None:
+        from repro.workload.generator import TrafficGenerator
+        from repro.workload.users import UserPopulation
+
+        self.config = config or AmmBoostConfig()
+        self.distribution = distribution or TrafficDistribution.uniswap_2023()
+        self.rng = DeterministicRng(self.config.seed)
+        self.clock = SimClock()
+        self.timing = AgreementTimeModel()
+
+        # -- mainchain side ---------------------------------------------------
+        self.mainchain = Mainchain(clock=self.clock)
+        self.token0 = ERC20Token("erc20:TKA", self.TOKEN0)
+        self.token1 = ERC20Token("erc20:TKB", self.TOKEN1)
+        self.token_bank = TokenBank("tokenbank", self.token0, self.token1)
+        self.mainchain.deploy(self.token0)
+        self.mainchain.deploy(self.token1)
+        self.mainchain.deploy(self.token_bank)
+        self.nft_registry = None
+        if self.config.enable_nft_positions:
+            from repro.core.nft import PositionNftRegistry
+
+            self.nft_registry = PositionNftRegistry(self.token_bank)
+            self.mainchain.deploy(self.nft_registry)
+            self.token_bank.nft_registry = self.nft_registry
+
+        # -- AMM engine shared by the sidechain executor ------------------------
+        self.pool = Pool(
+            PoolConfig(
+                token0=self.TOKEN0, token1=self.TOKEN1, fee_pips=self.config.fee_pips
+            )
+        )
+        self.pool.initialize(encode_price_sqrt(1, 1))
+        self.executor = SidechainExecutor(self.pool)
+        self.snapshot_bank = SnapshotBank(self.token_bank)
+        self.ledger = SidechainLedger()
+
+        # -- users and traffic ---------------------------------------------------
+        self.population = UserPopulation(self.config.num_users, seed=self.config.seed)
+        self.generator = TrafficGenerator(
+            population=self.population,
+            distribution=self.distribution,
+            rng=self.rng.child("traffic"),
+            tick_spacing=self.pool.config.tick_spacing,
+        )
+        self.queue: deque[SidechainTx] = deque()
+
+        # -- miners / committees ----------------------------------------------------
+        self._miner_keys = {
+            f"miner{i}": vrf_keygen(f"{self.config.seed}/miner{i}")
+            for i in range(self.config.miner_population)
+        }
+        self._stakes = {m: 1.0 for m in self._miner_keys}
+        self._committee: Committee | None = None
+        self._auth: TsqcAuthenticator | None = None
+        self._handover_certs: dict[int, KeyHandover] = {}
+        self._onchain_vkc_epoch = 0
+
+        # -- run state ----------------------------------------------------------------
+        self.metrics = MetricsCollector()
+        self._unsynced: list[EpochSummary] = []
+        self._pending_syncs: list[_PendingSync] = []
+        self._confirmed_syncs: list[_PendingSync] = []
+        self._epoch_txs: dict[int, list[SidechainTx]] = {}
+        self._global_round = 0
+        self._traffic_start: float | None = None
+        self._deposit_cursor = 0
+        self._next_epoch = 0
+        self._bootstrap_done = False
+        self._setup_done = False
+
+    # ------------------------------------------------------------------------
+    # Setup (Figure 2)
+    # ------------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Deploy-time system setup: pool, deposits, genesis committee."""
+        if self._setup_done:
+            raise ConfigurationError("setup already ran")
+        self._setup_done = True
+
+        # Elect and key the first epoch committee; its vk_c goes into the
+        # genesis configuration of TokenBank (SystemSetup, Figure 2).
+        self._committee, self._auth = self._elect_and_key(epoch=0)
+        self.token_bank.set_genesis_committee(self._auth.group_vk)
+
+        # createPool on the mainchain.
+        deployer = "system-designer"
+        self.mainchain.submit_call(
+            deployer, "tokenbank", "create_pool", size_bytes=100, label="create_pool"
+        )
+
+        # Fund users (faucet — not metered, it is outside the evaluation)
+        # and have every user approve + deposit for the coming epochs.
+        supply = self.config.initial_deposit * 4
+        for user in self.population.addresses:
+            self.token0.balances[user] = supply
+            self.token1.balances[user] = supply
+            self._submit_deposit(
+                user, self.config.initial_deposit, self.config.initial_deposit
+            )
+
+        # Bootstrap LP: a dedicated user whose wide position gives swaps
+        # liquidity from the first round.
+        bootstrap = "bootstrap-lp"
+        self.token0.balances[bootstrap] = supply
+        self.token1.balances[bootstrap] = supply
+        self._submit_deposit(
+            bootstrap, self.config.bootstrap_amount * 2, self.config.bootstrap_amount * 2
+        )
+
+        # Let the deposit pipeline confirm (~4 blocks, Table II).
+        blocks_needed = constants.DEPOSIT_CONFIRMATION_BLOCKS + 2
+        self.mainchain.produce_blocks_until(
+            self.clock.now + blocks_needed * self.mainchain.config.block_interval
+        )
+
+    def _submit_deposit(self, user: str, amount0: int, amount1: int) -> None:
+        """The deposit pipeline: two sequential approvals, then Deposit.
+
+        Users submit each step after the previous confirms, which is why
+        the paper measures ~4 blocks for a two-token deposit (Table II).
+        """
+        big = amount0 * 1000 + amount1 * 1000 + 10**30
+        approve0 = self.mainchain.submit_call(
+            user, "erc20:TKA", "approve", "tokenbank", big,
+            size_bytes=120, label="approve",
+        )
+        approve1 = self.mainchain.submit_call(
+            user, "erc20:TKB", "approve", "tokenbank", big,
+            size_bytes=120, depends_on=[approve0], label="approve",
+        )
+        self.mainchain.submit_call(
+            user, "tokenbank", "deposit", amount0, amount1,
+            size_bytes=200, depends_on=[approve1], label="deposit",
+        )
+        self.metrics.num_deposits += 1
+
+    # ------------------------------------------------------------------------
+    # The experiment loop
+    # ------------------------------------------------------------------------
+
+    def run(self, num_epochs: int = constants.DEFAULT_NUM_EPOCHS) -> MetricsCollector:
+        """Run ``num_epochs`` of traffic, drain the queue, return metrics.
+
+        Resumable: calling ``run`` again continues from the next epoch
+        (with ``num_epochs=0`` it just drains whatever is queued).
+        """
+        if not self._setup_done:
+            self.setup()
+        if self._traffic_start is None:
+            self._traffic_start = self.clock.now
+        target = self._next_epoch + num_epochs
+        while True:
+            inject = self._next_epoch < target
+            if not inject and not self.queue:
+                break
+            self._run_epoch(self._next_epoch, inject=inject)
+            self._next_epoch += 1
+            if self._next_epoch >= target + self.config.max_drain_epochs:
+                raise ConfigurationError(
+                    "drain did not complete; raise max_drain_epochs"
+                )
+        # Let the final sync confirm, then settle the books.
+        self.mainchain.produce_blocks_until(
+            self.clock.now + 3 * self.mainchain.config.block_interval
+        )
+        self._check_pending_syncs()
+        self._finalize_metrics()
+        return self.metrics
+
+    def _run_epoch(self, epoch: int, inject: bool) -> None:
+        from repro.workload.generator import arrival_rate_per_round
+
+        epoch_start = self.clock.now
+        committee, auth = self._committee, self._auth
+        assert committee is not None and auth is not None
+
+        # During this epoch the next committee is elected, runs its DKG,
+        # and the current committee certifies the key hand-over after
+        # checking election proofs (Section IV-C).
+        next_committee, next_auth = self._elect_and_key(epoch + 1)
+        signers = committee.members[: auth.threshold]
+        self._handover_certs[epoch + 1] = auth.certify_handover(
+            epoch + 1, next_auth.group_vk, signers
+        )
+
+        # SnapshotBank: merge deposits confirmed since the last epoch
+        # boundary into the executor's working balances.
+        if epoch == 0:
+            snapshot = self.snapshot_bank.take(epoch)
+            self.executor.begin_epoch(snapshot.deposits)
+            self._deposit_cursor = len(self.token_bank.deposit_events)
+        else:
+            self._merge_new_deposits()
+        epoch_initial_deposits = {
+            user: list(bal) for user, bal in self.executor.deposits.items()
+        }
+        self._epoch_txs[epoch] = []
+
+        rho = (
+            arrival_rate_per_round(self.config.daily_volume, self.config.round_duration)
+            if inject
+            else 0
+        )
+
+        rounds_used = 0
+        for round_index in range(self.config.rounds_per_epoch - 1):
+            if not inject and not self.queue:
+                # Drain epochs close as soon as the backlog is gone: the
+                # committee proceeds straight to the summary round rather
+                # than mining empty meta-blocks.
+                break
+            round_start = epoch_start + round_index * self.config.round_duration
+            round_end = round_start + self.config.round_duration
+            if self.clock.now < round_start:
+                self.clock.advance_to(round_start)
+            if inject:
+                self._inject_traffic(rho, round_start)
+            if not self._bootstrap_done:
+                self._enqueue_bootstrap(round_start)
+            self._mine_meta_block(epoch, round_index, round_end)
+            self._global_round += 1
+            self.mainchain.produce_blocks_until(round_end)
+            self._check_pending_syncs()
+            rounds_used += 1
+
+        summary_end = (
+            epoch_start + (rounds_used + 1) * self.config.round_duration
+        )
+        self._mine_summary_and_sync(epoch, epoch_initial_deposits, summary_end)
+        self._global_round += 1
+        self.mainchain.produce_blocks_until(summary_end)
+        self._check_pending_syncs()
+
+        # The committee hands over at the epoch boundary whether or not its
+        # leader issued the sync (a failed leader is exactly the case the
+        # next committee's mass-sync recovers from).
+        self._rotate_committee(epoch)
+
+    # -- traffic -------------------------------------------------------------------
+
+    def _inject_traffic(self, rho: int, submitted_at: float) -> None:
+        if rho <= 0:
+            return
+        txs = self.generator.generate_round(rho, submitted_at, self.pool.tick)
+        self.queue.extend(txs)
+
+    def _enqueue_bootstrap(self, submitted_at: float) -> None:
+        self._bootstrap_done = True
+        spacing = self.pool.config.tick_spacing
+        width = 1000 * spacing
+        tx = MintTx(
+            user="bootstrap-lp",
+            tick_lower=-width,
+            tick_upper=width,
+            amount0_desired=self.config.bootstrap_amount,
+            amount1_desired=self.config.bootstrap_amount,
+        )
+        tx.submitted_at = submitted_at
+        self.queue.appendleft(tx)
+
+    # -- block production -------------------------------------------------------------
+
+    def _mine_meta_block(self, epoch: int, round_index: int, round_end: float) -> None:
+        block = MetaBlock(
+            epoch=epoch,
+            round_index=round_index,
+            timestamp=round_end,
+            proposer=self._committee.leader() if self._committee else "",
+        )
+        used = 0
+        while self.queue:
+            tx = self.queue[0]
+            if used + tx.size_bytes > self.config.meta_block_size:
+                if used == 0:
+                    # A single transaction larger than the whole block can
+                    # never be included; reject it instead of stalling.
+                    self.queue.popleft()
+                    tx.reject_reason = "transaction exceeds meta-block size"
+                    self.metrics.rejected_txs += 1
+                    continue
+                break
+            self.queue.popleft()
+            accepted = self.executor.process(tx, current_round=self._global_round)
+            if not accepted:
+                self.metrics.rejected_txs += 1
+                continue
+            used += tx.size_bytes
+            tx.included_round = round_index
+            tx.included_epoch = epoch
+            tx.included_at = round_end
+            block.transactions.append(tx)
+            self._epoch_txs.setdefault(epoch, []).append(tx)
+            self.metrics.processed_txs += 1
+            self.metrics.sidechain_latency.record(round_end - tx.submitted_at)
+            self._track_position_ownership(tx)
+        block.seal()
+        self.ledger.append_meta_block(block)
+
+    def _track_position_ownership(self, tx: SidechainTx) -> None:
+        if isinstance(tx, MintTx):
+            self.population.on_position_created(
+                tx.user, tx.effects["position_id"]
+            )
+        elif isinstance(tx, BurnTx) and tx.effects.get("deleted"):
+            self.population.on_position_deleted(tx.user, tx.effects["position_id"])
+
+    def _mine_summary_and_sync(
+        self,
+        epoch: int,
+        epoch_initial_deposits: dict[str, list[int]],
+        round_end: float,
+    ) -> None:
+        summary = summarize_epoch(
+            epoch=epoch,
+            meta_blocks=self.ledger.live_meta_blocks(epoch),
+            initial_deposits=epoch_initial_deposits,
+            pool_balance0=self.pool.balance0,
+            pool_balance1=self.pool.balance1,
+            pool_sqrt_price_x96=self.pool.sqrt_price_x96,
+        )
+        summary_block = SummaryBlock.from_meta_blocks(
+            epoch=epoch,
+            meta_blocks=self.ledger.live_meta_blocks(epoch),
+            payouts=summary.payouts,
+            positions=summary.positions,
+            pool_state={"balance0": self.pool.balance0, "balance1": self.pool.balance1},
+            timestamp=round_end,
+            payout_entry_size=constants.SIZE_PAYOUT_ENTRY_SIDECHAIN,
+            position_entry_size=constants.SIZE_POSITION_ENTRY_SIDECHAIN,
+        )
+        self.ledger.append_summary_block(summary_block)
+        self._unsynced.append(summary)
+
+        if epoch in self.config.fail_sync_epochs:
+            return  # malicious leader withholds the sync; mass-sync recovers
+
+        payload = self._build_sync_payload(epoch)
+        leader = self._committee.leader() if self._committee else "leader"
+        tx = self.mainchain.submit_call(
+            leader,
+            "tokenbank",
+            "sync",
+            payload,
+            size_bytes=payload.size_bytes,
+            gas_limit=self._estimate_sync_gas(payload),
+            label="sync",
+        )
+        self._pending_syncs.append(
+            _PendingSync(
+                tx=tx,
+                payload=payload,
+                epochs=list(payload.epochs),
+                signer_epoch=epoch,
+                pre_state=self.token_bank.state_snapshot(),
+                pre_vkc_epoch=self._onchain_vkc_epoch,
+            )
+        )
+
+    @staticmethod
+    def _estimate_sync_gas(payload: SyncPayload) -> int:
+        """Upper-bound the Sync call's gas so its limit never truncates it."""
+        payouts = sum(len(s.payouts) for s in payload.summaries)
+        positions = sum(len(s.positions) for s in payload.summaries)
+        estimate = (
+            payouts * constants.GAS_PAYOUT_ENTRY
+            + positions * 6 * constants.GAS_SSTORE_WORD
+            + len(payload.summaries) * 4 * constants.GAS_SSTORE_WORD
+            + (2 + len(payload.handovers)) * constants.GAS_BLS_PAIRING_CHECK
+            + 200_000
+        )
+        return max(2_000_000, 2 * estimate)
+
+    def _build_sync_payload(self, epoch: int) -> SyncPayload:
+        """CreateTxSync: unsynced summaries + hand-over chain + next key."""
+        assert self._auth is not None
+        next_auth = self._next_auth
+        handovers = [
+            self._handover_certs[e]
+            for e in range(self._onchain_vkc_epoch + 1, epoch + 1)
+            if e in self._handover_certs
+        ]
+        payload = create_tx_sync(
+            list(self._unsynced), vkc_next=next_auth.group_vk, handovers=handovers
+        )
+        signers = self._committee.members[: self._auth.threshold]
+        return self._auth.sign_payload(payload, signers)
+
+    def _rotate_committee(self, epoch: int) -> None:
+        self._committee = self._next_committee
+        self._auth = self._next_auth
+
+    def _elect_and_key(self, epoch: int):
+        """Elect a committee by sortition and run its (fast-path) DKG."""
+        seed = keccak256(b"epoch-seed", self.config.seed, epoch)
+        committee = elect_committee(
+            miners=self._miner_keys,
+            stakes=self._stakes,
+            epoch=epoch,
+            seed=seed,
+            committee_size=self.config.committee_size,
+        )
+        threshold = constants.committee_quorum(self.config.committee_size)
+        dkg = simulate_dkg(
+            self.config.committee_size, threshold, self.rng.child(f"dkg{epoch}")
+        )
+        auth = TsqcAuthenticator(
+            threshold=threshold,
+            group_vk=dkg.group_vk,
+            shares={
+                member: dkg.shares[i] for i, member in enumerate(committee.members)
+            },
+        )
+        self._next_committee, self._next_auth = committee, auth
+        return committee, auth
+
+    # -- sync confirmation, pruning, payouts ----------------------------------------------
+
+    def _check_pending_syncs(self) -> None:
+        still_pending = []
+        for pending in self._pending_syncs:
+            if self.mainchain.is_confirmed(pending.tx):
+                self._on_sync_confirmed(pending)
+            elif pending.tx.status in (TxStatus.DROPPED, TxStatus.REVERTED):
+                # Lost to a rollback (or rejected): the summaries stay in
+                # self._unsynced and the next epoch mass-syncs them.
+                pass
+            else:
+                still_pending.append(pending)
+        self._pending_syncs = still_pending
+
+    def _on_sync_confirmed(self, pending: _PendingSync) -> None:
+        confirm_time = pending.tx.included_at or self.clock.now
+        self._confirmed_syncs.append(pending)
+        self.metrics.num_syncs += 1
+        if pending.tx.latency is not None:
+            self.metrics.mainchain_latency.record(pending.tx.latency)
+        for epoch in pending.epochs:
+            if self.ledger.is_synced(epoch):
+                continue
+            self.ledger.mark_synced(epoch)
+            self.ledger.prune_epoch(epoch)
+            for tx in self._epoch_txs.pop(epoch, []):
+                self.metrics.payout_latency.record(confirm_time - tx.submitted_at)
+        max_epoch = max(pending.epochs)
+        self._unsynced = [s for s in self._unsynced if s.epoch > max_epoch]
+        self._onchain_vkc_epoch = max(
+            self._onchain_vkc_epoch, pending.signer_epoch + 1
+        )
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def inject_mainchain_rollback(self, depth: int) -> int:
+        """Roll the mainchain back ``depth`` blocks (fork switch).
+
+        Sync transactions in the abandoned blocks are lost and TokenBank's
+        state is rewound to before the earliest lost sync (real rollback
+        semantics — the simulated chain itself does not rewind contract
+        storage).  Recovery happens through the next epoch's mass-sync,
+        whose hand-over certificates re-authenticate against the rewound
+        committee key.  Returns the number of sync transactions affected.
+        """
+        evicted = self.mainchain.rollback(depth)
+        lost_sync_ids = {tx.tx_id for tx in evicted if tx.label == "sync"}
+        if not lost_sync_ids:
+            return 0
+        # Find the records of the lost syncs; restore to the earliest one.
+        affected = [
+            p
+            for p in self._all_sync_records()
+            if p.tx.tx_id in lost_sync_ids
+        ]
+        affected.sort(key=lambda p: min(p.epochs))
+        earliest = affected[0]
+        self.token_bank.restore_state(earliest.pre_state)
+        self._onchain_vkc_epoch = earliest.pre_vkc_epoch
+        # Resurrect the lost summaries so the next sync mass-covers them.
+        for record in affected:
+            for summary in record.payload.summaries:
+                if all(s.epoch != summary.epoch for s in self._unsynced):
+                    self._unsynced.append(summary)
+        self._unsynced.sort(key=lambda s: s.epoch)
+        self._pending_syncs = [
+            p for p in self._pending_syncs if p.tx.tx_id not in lost_sync_ids
+        ]
+        return len(affected)
+
+    def _all_sync_records(self) -> list[_PendingSync]:
+        """Pending plus already-confirmed sync records (for rollbacks)."""
+        return self._pending_syncs + self._confirmed_syncs
+
+    # -- bookkeeping ------------------------------------------------------------------------
+
+    def _merge_new_deposits(self) -> None:
+        events = self.token_bank.deposit_events
+        for timestamp, user, amount0, amount1 in events[self._deposit_cursor:]:
+            balance = self.executor.deposit_of(user)
+            balance[0] += amount0
+            balance[1] += amount1
+        self._deposit_cursor = len(events)
+        if self.nft_registry is not None:
+            self._merge_ownership_changes()
+
+    def _merge_ownership_changes(self) -> None:
+        """Apply mainchain NFT transfers to the sidechain at epoch start.
+
+        Remark 3: position transfers happen on the mainchain, so the
+        sidechain only honours the new owner from the next epoch on.
+        """
+        for position_id, new_owner in self.nft_registry.drain_ownership_events():
+            record = self.executor.positions.get(position_id)
+            if record is None:
+                continue
+            self.population.on_position_deleted(record.owner, position_id)
+            record.owner = new_owner
+            self.population.on_position_created(new_owner, position_id)
+
+    def _finalize_metrics(self) -> None:
+        self.metrics.elapsed_seconds = self.clock.now - self._traffic_start
+        for block in self.mainchain.blocks:
+            for tx in block.transactions:
+                self.metrics.record_gas(tx.gas_breakdown)
+        self.metrics.mainchain_growth_bytes = self.mainchain.growth.tx_bytes
+        self.metrics.sidechain_growth_bytes = self.ledger.growth.total_bytes_appended
+        self.metrics.sidechain_live_bytes = self.ledger.current_bytes
+        self.metrics.sidechain_pruned_bytes = self.ledger.growth.pruned_bytes

@@ -1,0 +1,130 @@
+"""ammBoost transaction types (Section III, ``CreateTx``).
+
+Swaps, mints, burns and collects are sidechain transactions; deposits and
+flashes stay on the mainchain.  Wire sizes default to the measured Uniswap
+averages (Table VII) so byte-capacity effects match the paper's workload.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro import constants
+
+_tx_counter = itertools.count(1)
+
+
+class TxType(enum.Enum):
+    SWAP = "swap"
+    MINT = "mint"
+    BURN = "burn"
+    COLLECT = "collect"
+    DEPOSIT = "deposit"
+    FLASH = "flash"
+
+
+@dataclass
+class SidechainTx:
+    """Base class for transactions processed by the sidechain."""
+
+    user: str
+    size_bytes: int = 0
+    submitted_at: float = 0.0
+    #: Round whose meta-block included the transaction (set on processing).
+    included_round: int | None = None
+    included_epoch: int | None = None
+    included_at: float | None = None
+    #: Why the transaction was rejected, if it was.
+    reject_reason: str = ""
+    #: Execution effects recorded by the executor (token deltas per type),
+    #: consumed by the independent summariser.
+    effects: dict = field(default_factory=dict)
+    tx_id: int = field(default_factory=lambda: next(_tx_counter))
+
+    @property
+    def accepted(self) -> bool:
+        return self.included_round is not None and not self.reject_reason
+
+    @property
+    def sidechain_latency(self) -> float | None:
+        if self.included_at is None:
+            return None
+        return self.included_at - self.submitted_at
+
+
+@dataclass
+class SwapTx(SidechainTx):
+    """An exact-input or exact-output trade (Section IV-B, swaps)."""
+
+    txtype = TxType.SWAP
+    zero_for_one: bool = True
+    exact_input: bool = True
+    #: Exact-input: input amount.  Exact-output: desired output amount.
+    amount: int = 0
+    #: Slippage protection: minimum output (exact-in) / maximum input
+    #: (exact-out); None disables the check.
+    amount_limit: int | None = None
+    sqrt_price_limit_x96: int | None = None
+    #: Round number after which the trade is invalid.
+    deadline: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = round(constants.SIZE_UNISWAP_ETHEREUM["swap"])
+
+
+@dataclass
+class MintTx(SidechainTx):
+    """Create a new position or add liquidity to an owned one."""
+
+    txtype = TxType.MINT
+    tick_lower: int = 0
+    tick_upper: int = 0
+    amount0_desired: int = 0
+    amount1_desired: int = 0
+    #: None creates a new position; otherwise adds to an existing one.
+    position_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = round(constants.SIZE_UNISWAP_ETHEREUM["mint"])
+
+
+@dataclass
+class BurnTx(SidechainTx):
+    """Withdraw some or all liquidity from a position."""
+
+    txtype = TxType.BURN
+    position_id: str = ""
+    #: Liquidity units to burn; None burns the whole position.
+    liquidity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = round(constants.SIZE_UNISWAP_ETHEREUM["burn"])
+
+
+@dataclass
+class CollectTx(SidechainTx):
+    """Collect accrued fees from a position."""
+
+    txtype = TxType.COLLECT
+    position_id: str = ""
+    #: Fee amounts to collect; None collects everything owed.
+    amount0: int | None = None
+    amount1: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            self.size_bytes = round(constants.SIZE_UNISWAP_ETHEREUM["collect"])
+
+
+@dataclass
+class DepositRequest:
+    """A mainchain deposit backing the user's next-epoch activity."""
+
+    user: str
+    amount0: int
+    amount1: int

@@ -1,0 +1,121 @@
+"""BLS signatures and threshold BLS over the symbolic pairing group.
+
+The sidechain committee authenticates ``Sync`` calls with a threshold BLS
+signature verified on-chain with BN256 pairing precompiles (Section IV-C,
+"TSQC").  The construction here follows BLS exactly:
+
+* sign:     ``sigma = sk * H(m)``           (H maps into G1)
+* verify:   ``e(sigma, g2) == e(H(m), pk)`` with ``pk = sk * g2``
+* threshold: partial signatures are combined with Lagrange coefficients
+  over the signer indices, reconstructing ``sk * H(m)`` in the exponent.
+
+Sizes match BN256: signatures are 64 bytes (G1), verification keys 128
+bytes (G2) — the numbers Table IV reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.groups import G1Element, G2Element, PairingGroup
+from repro.crypto.shamir import Share, lagrange_coefficient
+from repro.errors import SignatureError, ThresholdError
+
+
+@dataclass(frozen=True)
+class BlsSignature:
+    """A (possibly aggregated) BLS signature: a single G1 point."""
+
+    point: G1Element
+
+    SIZE_BYTES = G1Element.SIZE_BYTES  # 64
+
+    def encode(self) -> bytes:
+        return self.point.encode()
+
+
+@dataclass(frozen=True)
+class BlsKeyPair:
+    """A BLS keypair.  ``vk`` is a G2 point (128 bytes encoded)."""
+
+    sk: int
+    vk: G2Element
+
+    SIZE_VK_BYTES = G2Element.SIZE_BYTES  # 128
+
+
+def bls_keygen(seed) -> BlsKeyPair:
+    """Deterministically derive a BLS keypair from ``seed``."""
+    from repro.crypto.hashing import hash_to_scalar
+
+    sk = hash_to_scalar(PairingGroup.ORDER, b"bls-keygen", str(seed))
+    return BlsKeyPair(sk=sk, vk=PairingGroup.G2 * sk)
+
+
+def bls_sign(sk: int, *message) -> BlsSignature:
+    """Sign: ``sigma = sk * H(m)``."""
+    h = PairingGroup.hash_to_g1(*message)
+    return BlsSignature(point=h * sk)
+
+
+def bls_verify(vk: G2Element, signature: BlsSignature, *message) -> bool:
+    """Verify via the pairing check ``e(sigma, g2) == e(H(m), vk)``."""
+    h = PairingGroup.hash_to_g1(*message)
+    return PairingGroup.pairing_check(
+        signature.point, PairingGroup.G2, h, vk
+    )
+
+
+def bls_aggregate(signatures: list[BlsSignature]) -> BlsSignature:
+    """Aggregate signatures on the *same* message by point addition."""
+    if not signatures:
+        raise SignatureError("cannot aggregate an empty signature list")
+    acc = signatures[0].point
+    for sig in signatures[1:]:
+        acc = acc + sig.point
+    return BlsSignature(point=acc)
+
+
+class ThresholdBls:
+    """Threshold BLS bound to a set of Shamir shares of a signing key.
+
+    Construction: each committee member ``i`` holds ``Share(x_i, y_i)`` of
+    the group signing key; a partial signature is ``y_i * H(m)``; any
+    ``threshold`` partials combine with Lagrange coefficients at zero into
+    the full ``sk * H(m)``.
+    """
+
+    def __init__(self, threshold: int, group_vk: G2Element) -> None:
+        if threshold < 1:
+            raise ThresholdError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.group_vk = group_vk
+
+    @staticmethod
+    def partial_sign(share: Share, *message) -> tuple[int, BlsSignature]:
+        """Produce member ``share.x``'s partial signature on ``message``."""
+        h = PairingGroup.hash_to_g1(*message)
+        return share.x, BlsSignature(point=h * share.y)
+
+    def combine(
+        self, partials: list[tuple[int, BlsSignature]]
+    ) -> BlsSignature:
+        """Combine at least ``threshold`` distinct partial signatures."""
+        if len(partials) < self.threshold:
+            raise ThresholdError(
+                f"need {self.threshold} partial signatures, got {len(partials)}"
+            )
+        chosen = partials[: self.threshold]
+        xs = [x for x, _ in chosen]
+        if len(set(xs)) != len(xs):
+            raise ThresholdError("duplicate signer indices")
+        order = PairingGroup.ORDER
+        acc = G1Element(0)
+        for i, (_, partial) in enumerate(chosen):
+            lam = lagrange_coefficient(xs, i, order)
+            acc = acc + partial.point * lam
+        return BlsSignature(point=acc)
+
+    def verify(self, signature: BlsSignature, *message) -> bool:
+        """Verify a combined signature against the committee key."""
+        return bls_verify(self.group_vk, signature, *message)

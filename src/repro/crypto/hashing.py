@@ -1,0 +1,53 @@
+"""Hash functions.
+
+The paper's TokenBank uses Keccak256 (Ethereum's hash).  ``hashlib`` ships
+SHA3-256, which differs from Keccak only in padding; byte-for-byte
+compatibility with Ethereum is irrelevant here, so we use SHA3-256 and call
+it keccak throughout, charging the EVM's keccak gas prices for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def keccak256(*parts: bytes | str | int) -> bytes:
+    """Hash the concatenation of ``parts`` to 32 bytes.
+
+    Accepts bytes, strings (UTF-8 encoded) and non-negative ints (32-byte
+    big-endian encoded) for convenience; each part is length-prefixed so the
+    encoding is unambiguous.
+    """
+    h = hashlib.sha3_256()
+    for part in parts:
+        data = _to_bytes(part)
+        h.update(len(data).to_bytes(4, "big"))
+        h.update(data)
+    return h.digest()
+
+
+def keccak256_int(*parts: bytes | str | int) -> int:
+    """Like :func:`keccak256` but returns the digest as a big-endian int."""
+    return int.from_bytes(keccak256(*parts), "big")
+
+
+def hash_to_scalar(modulus: int, *parts: bytes | str | int) -> int:
+    """Hash ``parts`` into ``[1, modulus - 1]`` (never zero)."""
+    if modulus <= 2:
+        raise ValueError(f"modulus too small: {modulus}")
+    return keccak256_int(*parts) % (modulus - 1) + 1
+
+
+def _to_bytes(part: bytes | str | int) -> bytes:
+    if isinstance(part, bytes):
+        return part
+    if isinstance(part, str):
+        return part.encode("utf-8")
+    if isinstance(part, int):
+        # Sign-prefixed magnitude so negative values (e.g. net liquidity
+        # deltas) hash unambiguously.
+        sign = b"-" if part < 0 else b"+"
+        magnitude = abs(part)
+        length = max(32, (magnitude.bit_length() + 7) // 8)
+        return sign + magnitude.to_bytes(length, "big")
+    raise TypeError(f"cannot hash value of type {type(part).__name__}")

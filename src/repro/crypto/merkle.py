@@ -1,0 +1,86 @@
+"""Binary Merkle trees.
+
+Meta-blocks and summary-blocks commit to their transaction lists with a
+Merkle root so pruned history remains verifiable against the permanent
+summary-blocks (Section IV-C, public verifiability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import keccak256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof.
+
+    ``steps`` is a bottom-up list of ``(sibling_is_left, sibling_hash)``
+    pairs.  Levels where the node was promoted without a sibling contribute
+    no step, so the positional bit must be explicit rather than derived
+    from the leaf index.
+    """
+
+    index: int
+    steps: tuple[tuple[bool, bytes], ...]
+
+
+class MerkleTree:
+    """A Merkle tree over a list of byte-string leaves.
+
+    Leaf and interior hashes are domain-separated to rule out
+    second-preimage tricks between the two layers.  A trailing odd node is
+    promoted to the next level unchanged (no Bitcoin-style duplication).
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self.leaves = list(leaves)
+        self._levels: list[list[bytes]] = [
+            [keccak256(_LEAF_PREFIX, leaf) for leaf in leaves]
+        ]
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            level = []
+            for i in range(0, len(prev), 2):
+                if i + 1 < len(prev):
+                    level.append(keccak256(_NODE_PREFIX, prev[i], prev[i + 1]))
+                else:
+                    level.append(prev[i])
+            self._levels.append(level)
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for ``leaves[index]``."""
+        if not (0 <= index < len(self.leaves)):
+            raise IndexError(f"leaf index out of range: {index}")
+        steps: list[tuple[bool, bytes]] = []
+        i = index
+        for level in self._levels[:-1]:
+            sibling = i ^ 1
+            if sibling < len(level):
+                steps.append((sibling < i, level[sibling]))
+            i //= 2
+        return MerkleProof(index=index, steps=tuple(steps))
+
+
+def verify_merkle_proof(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that ``leaf`` is included under ``root``."""
+    node = keccak256(_LEAF_PREFIX, leaf)
+    for sibling_is_left, sibling in proof.steps:
+        if sibling_is_left:
+            node = keccak256(_NODE_PREFIX, sibling, node)
+        else:
+            node = keccak256(_NODE_PREFIX, node, sibling)
+    return node == root

@@ -1,0 +1,72 @@
+"""Shamir secret sharing over a prime field.
+
+Used by the DKG to share the committee signing key with threshold
+``2f + 2`` (Section IV-C's TSQC authentication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ThresholdError
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation ``(x, y)`` of the secret polynomial."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coeffs: list[int], x: int, modulus: int) -> int:
+    """Evaluate a polynomial given low-to-high coefficients (Horner)."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % modulus
+    return acc
+
+
+def split_secret(
+    secret: int, threshold: int, num_shares: int, modulus: int, rng
+) -> list[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    ``rng`` supplies the random polynomial coefficients (a
+    :class:`~repro.simulation.rng.DeterministicRng` in simulations).
+    """
+    if not (1 <= threshold <= num_shares):
+        raise ThresholdError(
+            f"need 1 <= threshold <= num_shares, got {threshold}/{num_shares}"
+        )
+    if not (0 <= secret < modulus):
+        raise ThresholdError("secret must lie in the field")
+    coeffs = [secret] + [rng.randint(0, modulus - 1) for _ in range(threshold - 1)]
+    return [Share(x=i, y=_eval_poly(coeffs, i, modulus)) for i in range(1, num_shares + 1)]
+
+
+def lagrange_coefficient(xs: list[int], i: int, modulus: int, at: int = 0) -> int:
+    """Lagrange basis coefficient for point ``xs[i]`` evaluated at ``at``."""
+    num, den = 1, 1
+    xi = xs[i]
+    for j, xj in enumerate(xs):
+        if j == i:
+            continue
+        num = (num * (at - xj)) % modulus
+        den = (den * (xi - xj)) % modulus
+    return (num * pow(den, -1, modulus)) % modulus
+
+
+def reconstruct_secret(shares: list[Share], modulus: int) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares."""
+    if not shares:
+        raise ThresholdError("no shares supplied")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ThresholdError("duplicate share indices")
+    secret = 0
+    for i, share in enumerate(shares):
+        lam = lagrange_coefficient(xs, i, modulus)
+        secret = (secret + share.y * lam) % modulus
+    return secret

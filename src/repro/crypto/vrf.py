@@ -1,0 +1,65 @@
+"""Verifiable random function for cryptographic sortition.
+
+The committee election (Section IV-A, Appendix A) uses a VRF so election
+is unpredictable yet publicly verifiable.  We build the VRF from the
+unique/deterministic BLS signature over the symbolic pairing group:
+``proof = sk * H(input)``, ``output = keccak(proof)``.  BLS signatures are
+unique for a given key and message, which is exactly the property a VRF
+needs (Goldberg et al. construction; also what Algorand-style sortition
+uses in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.bls import BlsKeyPair, BlsSignature, bls_keygen, bls_sign, bls_verify
+from repro.crypto.groups import G2Element
+from repro.crypto.hashing import keccak256
+from repro.errors import VRFError
+
+
+@dataclass(frozen=True)
+class VrfOutput:
+    """A VRF evaluation: pseudo-random 32 bytes plus a proof of correctness."""
+
+    value: bytes
+    proof: BlsSignature
+
+    def as_unit_float(self) -> float:
+        """Map the output into [0, 1) for sortition threshold tests."""
+        return int.from_bytes(self.value[:8], "big") / 2**64
+
+
+@dataclass
+class VrfKeyPair:
+    """A VRF keypair (BLS keypair underneath)."""
+
+    keypair: BlsKeyPair
+
+    @property
+    def vk(self) -> G2Element:
+        return self.keypair.vk
+
+    def evaluate(self, *alpha) -> VrfOutput:
+        """Evaluate the VRF on input ``alpha``."""
+        proof = bls_sign(self.keypair.sk, b"vrf", *alpha)
+        return VrfOutput(value=keccak256(proof.encode()), proof=proof)
+
+
+def vrf_keygen(seed) -> VrfKeyPair:
+    """Deterministically derive a VRF keypair from ``seed``."""
+    return VrfKeyPair(keypair=bls_keygen(f"vrf/{seed}"))
+
+
+def vrf_verify(vk: G2Element, output: VrfOutput, *alpha) -> bool:
+    """Check the proof and that the claimed value matches it."""
+    if not bls_verify(vk, output.proof, b"vrf", *alpha):
+        return False
+    return output.value == keccak256(output.proof.encode())
+
+
+def require_valid_vrf(vk: G2Element, output: VrfOutput, *alpha) -> None:
+    """Raise :class:`VRFError` unless the VRF output verifies."""
+    if not vrf_verify(vk, output, *alpha):
+        raise VRFError("VRF proof verification failed")

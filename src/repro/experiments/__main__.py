@@ -1,0 +1,54 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table5
+    python -m repro.experiments figure5 table12
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import experiments
+
+RUNNERS = {
+    "table2": experiments.run_table2_itemized_gas,
+    "table3": experiments.run_table3_uniswap_gas,
+    "table4": experiments.run_table4_storage,
+    "figure5": experiments.run_figure5,
+    "table5": experiments.run_table5_scalability,
+    "table6": experiments.run_table6_rollup,
+    "table7": experiments.run_table7_traffic_analysis,
+    "table8": experiments.run_table8_block_size,
+    "table9": experiments.run_table9_round_duration,
+    "table10": experiments.run_table10_epoch_length,
+    "table11": experiments.run_table11_traffic_mix,
+    "table12": experiments.run_table12_committee_size,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("available experiments:", ", ".join(RUNNERS))
+        return 0
+    names = list(RUNNERS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("available:", ", ".join(RUNNERS), file=sys.stderr)
+        return 2
+    for name in names:
+        result = RUNNERS[name]()
+        print(result.render())
+        if result.notes:
+            print(f"notes: {result.notes}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

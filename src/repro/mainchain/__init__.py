@@ -1,0 +1,32 @@
+"""Simulated smart-contract-enabled mainchain (Ethereum/Sepolia-like).
+
+An account-model chain with the Ethereum gas schedule, 12-second blocks, a
+mempool, a block gas limit, byte-accurate chain-growth accounting, rollback
+support and a Python contract runtime.  The ammBoost ``TokenBank`` and the
+baseline Uniswap deployment both run on this substrate.
+"""
+
+from repro.mainchain.gas import GasMeter, keccak_gas, sstore_gas, words
+from repro.mainchain.abi import abi_encoded_size, abi_head_tail_size
+from repro.mainchain.transactions import MainchainTransaction, TxStatus
+from repro.mainchain.blocks import MainchainBlock
+from repro.mainchain.chain import Mainchain, MainchainConfig
+from repro.mainchain.contracts.base import CallContext, Contract
+from repro.mainchain.contracts.erc20 import ERC20Token
+
+__all__ = [
+    "GasMeter",
+    "keccak_gas",
+    "sstore_gas",
+    "words",
+    "abi_encoded_size",
+    "abi_head_tail_size",
+    "MainchainTransaction",
+    "TxStatus",
+    "MainchainBlock",
+    "Mainchain",
+    "MainchainConfig",
+    "CallContext",
+    "Contract",
+    "ERC20Token",
+]

@@ -1,0 +1,37 @@
+"""Ethereum ABI encoding *size* model.
+
+Section VI-B explains that payout/position entries are much larger on the
+mainchain than on the sidechain because "Ethereum's application binary
+interface (ABI) packing keeps track of the data and all the information
+needed to reinterpret it back, while on the sidechain we use simple binary
+packing."  This module computes ABI-encoded sizes without materialising the
+encodings, which is all the chain-growth accounting needs.
+"""
+
+from __future__ import annotations
+
+#: Size of a function selector.
+SELECTOR_SIZE = 4
+#: Every static ABI slot is one 32-byte word.
+WORD_SIZE = 32
+
+
+def abi_head_tail_size(static_slots: int, dynamic_elements: list[int]) -> int:
+    """Size of an ABI tuple with ``static_slots`` words plus dynamic arrays.
+
+    Each dynamic array contributes one offset word in the head, one length
+    word, and its elements (already expressed in words each) in the tail.
+    """
+    head = (static_slots + len(dynamic_elements)) * WORD_SIZE
+    tail = sum((1 + n) * WORD_SIZE for n in dynamic_elements)
+    return head + tail
+
+
+def abi_encoded_size(arg_slots: list[int]) -> int:
+    """Calldata size of a call whose args occupy the given word counts."""
+    return SELECTOR_SIZE + sum(arg_slots) * WORD_SIZE
+
+
+def abi_array_size(num_elements: int, words_per_element: int) -> int:
+    """Size of one dynamic array argument (offset + length + data)."""
+    return (2 + num_elements * words_per_element) * WORD_SIZE

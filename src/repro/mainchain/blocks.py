@@ -1,0 +1,28 @@
+"""Mainchain blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mainchain.transactions import MainchainTransaction
+
+#: Bytes of block header / metadata counted toward chain growth.
+BLOCK_HEADER_SIZE = 500
+
+
+@dataclass
+class MainchainBlock:
+    """A mined mainchain block."""
+
+    number: int
+    timestamp: float
+    transactions: list[MainchainTransaction] = field(default_factory=list)
+
+    @property
+    def gas_used(self) -> int:
+        return sum(tx.gas_used for tx in self.transactions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes this block adds to the chain (header + transactions)."""
+        return BLOCK_HEADER_SIZE + sum(tx.size_bytes for tx in self.transactions)

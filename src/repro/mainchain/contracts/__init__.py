@@ -1,0 +1,6 @@
+"""Contracts deployable on the simulated mainchain."""
+
+from repro.mainchain.contracts.base import CallContext, Contract
+from repro.mainchain.contracts.erc20 import ERC20Token
+
+__all__ = ["CallContext", "Contract", "ERC20Token"]

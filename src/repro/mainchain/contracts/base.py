@@ -1,0 +1,71 @@
+"""Contract runtime for the simulated mainchain.
+
+Contracts are Python objects deployed at string addresses.  A call receives
+a :class:`CallContext` carrying the sender, block metadata and a
+:class:`~repro.mainchain.gas.GasMeter`; contracts charge gas as they run
+and raise :class:`~repro.errors.RevertError` to abort.
+
+Revert semantics: contracts must validate before mutating (the convention
+Solidity's checks-effects-interactions pattern enforces); the chain marks a
+reverted transaction failed and keeps its state untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import RevertError
+from repro.mainchain.gas import GasMeter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mainchain.chain import Mainchain
+
+
+@dataclass
+class CallContext:
+    """Execution environment handed to a contract function."""
+
+    sender: str
+    gas: GasMeter
+    block_number: int
+    timestamp: float
+    chain: "Mainchain"
+
+    def call_contract(self, address: str, function: str, *args, **kwargs) -> Any:
+        """Synchronous internal call to another deployed contract."""
+        target = self.chain.contract_at(address)
+        inner = CallContext(
+            sender=self.sender,
+            gas=self.gas,
+            block_number=self.block_number,
+            timestamp=self.timestamp,
+            chain=self.chain,
+        )
+        return target.execute(function, inner, *args, **kwargs)
+
+
+class Contract:
+    """Base class for deployable contracts."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        #: Total bytes of persistent storage this contract has written;
+        #: feeds the dApp state-size accounting.
+        self.storage_bytes = 0
+
+    def execute(self, function: str, ctx: CallContext, *args, **kwargs) -> Any:
+        """Dispatch ``function`` to the Python method of the same name."""
+        method = getattr(self, function, None)
+        if method is None or function.startswith("_"):
+            raise RevertError(f"unknown function {function} on {self.address}")
+        return method(ctx, *args, **kwargs)
+
+    def _store(self, ctx: CallContext, num_bytes: int, label: str = "storage") -> None:
+        """Persist ``num_bytes`` of fresh storage, charging SSTORE gas."""
+        ctx.gas.charge_sstore(num_bytes, label)
+        self.storage_bytes += num_bytes
+
+    def _release(self, num_bytes: int) -> None:
+        """Account for storage freed (e.g. a deleted position)."""
+        self.storage_bytes = max(0, self.storage_bytes - num_bytes)

@@ -1,0 +1,88 @@
+"""A standard ERC20 token contract.
+
+The paper deploys two ERC20 contracts for the traded pair; both ammBoost's
+TokenBank and the baseline Uniswap pull tokens from them via
+approve/transferFrom, which is what makes deposits take several blocks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InsufficientBalanceError, RevertError
+from repro.mainchain.contracts.base import CallContext, Contract
+
+#: Rough gas for an ERC20 transfer touching two balance slots.
+GAS_TRANSFER = 34_000
+#: Gas for an approval (one allowance slot).
+GAS_APPROVE = 24_000
+
+
+class ERC20Token(Contract):
+    """Minimal ERC20: balances, allowances, transfer/approve/transferFrom.
+
+    Amounts are integers in the token's smallest unit, as on Ethereum.
+    """
+
+    def __init__(self, address: str, symbol: str, decimals: int = 18) -> None:
+        super().__init__(address)
+        self.symbol = symbol
+        self.decimals = decimals
+        self.total_supply = 0
+        self.balances: dict[str, int] = {}
+        self.allowances: dict[tuple[str, str], int] = {}
+
+    # -- views ---------------------------------------------------------------
+
+    def balance_of(self, owner: str) -> int:
+        return self.balances.get(owner, 0)
+
+    def allowance(self, owner: str, spender: str) -> int:
+        return self.allowances.get((owner, spender), 0)
+
+    # -- state transitions -----------------------------------------------------
+
+    def mint_supply(self, ctx: CallContext, to: str, amount: int) -> None:
+        """Test/bootstrap faucet: create ``amount`` tokens for ``to``."""
+        self._require_positive(amount)
+        self.balances[to] = self.balance_of(to) + amount
+        self.total_supply += amount
+        ctx.gas.charge(GAS_TRANSFER, "erc20")
+
+    def transfer(self, ctx: CallContext, to: str, amount: int) -> None:
+        self._require_positive(amount)
+        self._move(ctx.sender, to, amount)
+        ctx.gas.charge(GAS_TRANSFER, "erc20")
+
+    def approve(self, ctx: CallContext, spender: str, amount: int) -> None:
+        if amount < 0:
+            raise RevertError("negative approval")
+        self.allowances[(ctx.sender, spender)] = amount
+        ctx.gas.charge(GAS_APPROVE, "erc20")
+
+    def transfer_from(
+        self, ctx: CallContext, owner: str, to: str, amount: int
+    ) -> None:
+        self._require_positive(amount)
+        allowed = self.allowance(owner, ctx.sender)
+        if allowed < amount:
+            raise InsufficientBalanceError(
+                f"{self.symbol}: allowance {allowed} < {amount} "
+                f"for spender {ctx.sender}"
+            )
+        self._move(owner, to, amount)
+        self.allowances[(owner, ctx.sender)] = allowed - amount
+        ctx.gas.charge(GAS_TRANSFER, "erc20")
+
+    # -- internals --------------------------------------------------------------
+
+    def _move(self, src: str, dst: str, amount: int) -> None:
+        if self.balance_of(src) < amount:
+            raise InsufficientBalanceError(
+                f"{self.symbol}: balance {self.balance_of(src)} < {amount} for {src}"
+            )
+        self.balances[src] -= amount
+        self.balances[dst] = self.balance_of(dst) + amount
+
+    @staticmethod
+    def _require_positive(amount: int) -> None:
+        if amount <= 0:
+            raise RevertError(f"amount must be positive, got {amount}")

@@ -1,0 +1,87 @@
+"""Metric collectors for the six metrics of Section VI-A.
+
+1. throughput (tx/s), 2. sidechain transaction latency, 3. mainchain
+transaction latency, 4. payout latency, 5. gas cost, 6. main/side chain
+growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency accumulator (mean/min/max without storing all)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency: {value}")
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+@dataclass
+class MetricsCollector:
+    """All measurements of one experiment run."""
+
+    sidechain_latency: LatencyStats = field(default_factory=LatencyStats)
+    payout_latency: LatencyStats = field(default_factory=LatencyStats)
+    mainchain_latency: LatencyStats = field(default_factory=LatencyStats)
+    processed_txs: int = 0
+    rejected_txs: int = 0
+    elapsed_seconds: float = 0.0
+    #: Mainchain gas by itemisation label.
+    gas_by_label: dict[str, int] = field(default_factory=dict)
+    total_gas: int = 0
+    mainchain_growth_bytes: int = 0
+    sidechain_growth_bytes: int = 0
+    sidechain_live_bytes: int = 0
+    sidechain_pruned_bytes: int = 0
+    num_syncs: int = 0
+    num_deposits: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Processed transactions per second over the whole run."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.processed_txs / self.elapsed_seconds
+
+    def record_gas(self, breakdown: dict[str, int]) -> None:
+        for label, amount in breakdown.items():
+            self.gas_by_label[label] = self.gas_by_label.get(label, 0) + amount
+            self.total_gas += amount
+
+    def summary(self) -> dict:
+        """Plain-dict summary convenient for benches and reports."""
+        return {
+            "throughput_tps": round(self.throughput, 2),
+            "avg_sc_latency_s": round(self.sidechain_latency.mean, 2),
+            "avg_payout_latency_s": round(self.payout_latency.mean, 2),
+            "processed_txs": self.processed_txs,
+            "rejected_txs": self.rejected_txs,
+            "total_gas": self.total_gas,
+            "mainchain_growth_bytes": self.mainchain_growth_bytes,
+            "sidechain_growth_bytes": self.sidechain_growth_bytes,
+            "sidechain_live_bytes": self.sidechain_live_bytes,
+            "num_syncs": self.num_syncs,
+            "elapsed_seconds": round(self.elapsed_seconds, 1),
+        }

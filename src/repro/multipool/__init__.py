@@ -1,0 +1,15 @@
+"""Multi-pool AMM support (the paper's ``PoolSets`` state variable).
+
+The paper's proof of concept manages a single pool ("For simplicity, our
+implementation manages a single pool"), but TokenBank's interface is
+written for many: ``PoolSets: token-pair pools managed by the AMM`` and
+``createPool(A, B)``.  This package provides that generality on the
+sidechain: a :class:`MultiPoolExecutor` routes transactions to per-pair
+pools, keeps per-token deposit balances, and folds every pool's epoch
+changes into one aggregated sync payload.
+"""
+
+from repro.multipool.executor import MultiPoolExecutor, PoolKey
+from repro.multipool.summary import MultiPoolEpochSummary
+
+__all__ = ["MultiPoolExecutor", "PoolKey", "MultiPoolEpochSummary"]

@@ -1,0 +1,28 @@
+"""The ammBoost sidechain: PBFT consensus, sortition election, pruning.
+
+Two fidelity levels share this package (see DESIGN.md):
+
+* the message-level PBFT engine (:mod:`repro.sidechain.pbft`) exercised by
+  the test suite and small-committee timing runs, and
+* the calibrated agreement-time model (:mod:`repro.sidechain.timing`) used
+  by the epoch-level experiment harness for 500+-member committees.
+"""
+
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+from repro.sidechain.chain import SidechainLedger
+from repro.sidechain.election import Committee, ElectionProof, elect_committee
+from repro.sidechain.pbft import ConsensusOutcome, PbftConfig, PbftRound
+from repro.sidechain.timing import AgreementTimeModel
+
+__all__ = [
+    "MetaBlock",
+    "SummaryBlock",
+    "SidechainLedger",
+    "Committee",
+    "ElectionProof",
+    "elect_committee",
+    "ConsensusOutcome",
+    "PbftConfig",
+    "PbftRound",
+    "AgreementTimeModel",
+]

@@ -1,0 +1,56 @@
+"""Adversary construction helpers for fault-injection tests.
+
+The adversary model (Section III): up to ``f`` of ``3f + 2`` committee
+members are corrupted at the start of an epoch (slowly-adaptive), messages
+can be delayed up to Δ and reordered, and corrupted members may behave
+arbitrarily — modelled here as the three concrete behaviours the paper's
+interruption analysis considers (silent leader, invalid proposer,
+vote withholder) plus adversarial network delay.
+"""
+
+from __future__ import annotations
+
+from repro.sidechain.pbft import NodeBehavior
+from repro.simulation.network import Message
+
+
+def corrupt_members(
+    members: list[str],
+    count: int,
+    silent_as_leader: bool = False,
+    propose_invalid: bool = False,
+    withhold_votes: bool = False,
+) -> dict[str, NodeBehavior]:
+    """Corrupt the first ``count`` members with the given behaviour.
+
+    Taking a prefix rather than a random sample keeps tests deterministic;
+    the election already randomises member order.
+    """
+    if count > len(members):
+        raise ValueError(f"cannot corrupt {count} of {len(members)} members")
+    return {
+        member: NodeBehavior(
+            silent_as_leader=silent_as_leader,
+            propose_invalid=propose_invalid,
+            withhold_votes=withhold_votes,
+        )
+        for member in members[:count]
+    }
+
+
+def max_delay_adversary(delta_bound: float):
+    """A delay hook that pushes every message to the Δ bound."""
+
+    def hook(message: Message) -> float:
+        return delta_bound
+
+    return hook
+
+
+def targeted_delay_adversary(target: str, extra: float):
+    """Delay only messages destined for ``target``."""
+
+    def hook(message: Message) -> float:
+        return extra if message.recipient.endswith(target) else 0.0
+
+    return hook

@@ -1,0 +1,101 @@
+"""Sidechain blocks: temporary meta-blocks and permanent summary-blocks.
+
+Meta-blocks record the transactions processed in one round and are pruned
+once their epoch's sync-transaction confirms on the mainchain.
+Summary-blocks are permanent checkpoints summarising the state changes of
+a whole epoch (Section II, chainBoost overview; Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crypto.hashing import keccak256
+from repro.crypto.merkle import MerkleTree
+
+#: Bytes of block header/metadata counted toward sidechain growth.
+META_BLOCK_HEADER_SIZE = 200
+SUMMARY_BLOCK_HEADER_SIZE = 300
+
+
+@dataclass
+class MetaBlock:
+    """A temporary block holding one round's processed transactions."""
+
+    epoch: int
+    round_index: int
+    transactions: list = field(default_factory=list)
+    timestamp: float = 0.0
+    proposer: str = ""
+    tx_root: bytes = b""
+
+    def seal(self) -> None:
+        """Compute the Merkle commitment over the carried transactions."""
+        leaves = [self._tx_leaf(tx) for tx in self.transactions] or [b"empty"]
+        self.tx_root = MerkleTree(leaves).root
+
+    @staticmethod
+    def _tx_leaf(tx) -> bytes:
+        return keccak256(repr(tx))
+
+    @property
+    def size_bytes(self) -> int:
+        return META_BLOCK_HEADER_SIZE + sum(
+            getattr(tx, "size_bytes", 0) for tx in self.transactions
+        )
+
+    @property
+    def block_hash(self) -> bytes:
+        return keccak256(b"meta", self.epoch, self.round_index, self.tx_root)
+
+
+@dataclass
+class SummaryBlock:
+    """A permanent block summarising an epoch's state changes.
+
+    Carries the payout list and position list produced by the summary rules
+    (Figure 4), plus a commitment to the meta-blocks it summarises so the
+    pruned history stays publicly verifiable.
+    """
+
+    epoch: int
+    payouts: list = field(default_factory=list)
+    positions: list = field(default_factory=list)
+    pool_state: dict = field(default_factory=dict)
+    meta_block_hashes: tuple[bytes, ...] = ()
+    timestamp: float = 0.0
+    size_bytes: int = SUMMARY_BLOCK_HEADER_SIZE
+
+    @classmethod
+    def from_meta_blocks(
+        cls,
+        epoch: int,
+        meta_blocks: Sequence[MetaBlock],
+        payouts: list,
+        positions: list,
+        pool_state: dict,
+        timestamp: float,
+        payout_entry_size: int,
+        position_entry_size: int,
+    ) -> "SummaryBlock":
+        size = (
+            SUMMARY_BLOCK_HEADER_SIZE
+            + len(payouts) * payout_entry_size
+            + len(positions) * position_entry_size
+        )
+        return cls(
+            epoch=epoch,
+            payouts=payouts,
+            positions=positions,
+            pool_state=pool_state,
+            meta_block_hashes=tuple(b.block_hash for b in meta_blocks),
+            timestamp=timestamp,
+            size_bytes=size,
+        )
+
+    @property
+    def block_hash(self) -> bytes:
+        return keccak256(
+            b"summary", self.epoch, *self.meta_block_hashes
+        )

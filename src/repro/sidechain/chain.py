@@ -1,0 +1,106 @@
+"""The sidechain ledger: meta-blocks, summary-blocks and pruning.
+
+Implements the storage side of the chainBoost block-suppression technique
+(Section IV-C): meta-blocks stay on the ledger until the epoch's
+sync-transaction is confirmed on the mainchain, then they are pruned;
+summary-blocks are permanent checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PruningError
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+
+
+@dataclass
+class SidechainGrowth:
+    """Cumulative and current size accounting for the sidechain."""
+
+    total_bytes_appended: int = 0
+    pruned_bytes: int = 0
+    num_meta_blocks: int = 0
+    num_summary_blocks: int = 0
+
+    @property
+    def current_bytes(self) -> int:
+        """Live chain size after pruning."""
+        return self.total_bytes_appended - self.pruned_bytes
+
+
+class SidechainLedger:
+    """Holds the sidechain's blocks and enforces the pruning rule."""
+
+    def __init__(self) -> None:
+        self.meta_blocks: dict[int, list[MetaBlock]] = {}
+        self.summary_blocks: dict[int, SummaryBlock] = {}
+        self.growth = SidechainGrowth()
+        self._synced_epochs: set[int] = set()
+        self._pruned_epochs: set[int] = set()
+        self.max_live_bytes = 0
+
+    # -- appends --------------------------------------------------------------
+
+    def append_meta_block(self, block: MetaBlock) -> None:
+        if block.epoch in self._pruned_epochs:
+            raise PruningError(f"epoch {block.epoch} already pruned")
+        self.meta_blocks.setdefault(block.epoch, []).append(block)
+        self.growth.total_bytes_appended += block.size_bytes
+        self.growth.num_meta_blocks += 1
+        self._track_peak()
+
+    def append_summary_block(self, block: SummaryBlock) -> None:
+        if block.epoch in self.summary_blocks:
+            raise PruningError(f"epoch {block.epoch} already summarised")
+        self.summary_blocks[block.epoch] = block
+        self.growth.total_bytes_appended += block.size_bytes
+        self.growth.num_summary_blocks += 1
+        self._track_peak()
+
+    # -- sync / prune lifecycle ------------------------------------------------
+
+    def mark_synced(self, epoch: int) -> None:
+        """Record that the epoch's sync-transaction confirmed on-chain."""
+        if epoch not in self.summary_blocks:
+            raise PruningError(f"no summary-block for epoch {epoch}")
+        self._synced_epochs.add(epoch)
+
+    def is_synced(self, epoch: int) -> bool:
+        return epoch in self._synced_epochs
+
+    def prune_epoch(self, epoch: int) -> int:
+        """Drop the epoch's meta-blocks; returns bytes reclaimed.
+
+        Refuses to prune before the sync confirms — the public
+        verifiability requirement ("meta-blocks do not get pruned until
+        their sync-transaction is confirmed on the mainchain").
+        """
+        if epoch not in self._synced_epochs:
+            raise PruningError(
+                f"cannot prune epoch {epoch}: sync not confirmed on mainchain"
+            )
+        blocks = self.meta_blocks.pop(epoch, [])
+        reclaimed = sum(b.size_bytes for b in blocks)
+        self.growth.pruned_bytes += reclaimed
+        self._pruned_epochs.add(epoch)
+        return reclaimed
+
+    def prune_all_synced(self) -> int:
+        """Prune every synced-but-unpruned epoch (the steady-state rule)."""
+        reclaimed = 0
+        for epoch in sorted(set(self.meta_blocks) & self._synced_epochs):
+            reclaimed += self.prune_epoch(epoch)
+        return reclaimed
+
+    # -- views -----------------------------------------------------------------
+
+    def live_meta_blocks(self, epoch: int) -> list[MetaBlock]:
+        return list(self.meta_blocks.get(epoch, []))
+
+    @property
+    def current_bytes(self) -> int:
+        return self.growth.current_bytes
+
+    def _track_peak(self) -> None:
+        self.max_live_bytes = max(self.max_live_bytes, self.growth.current_bytes)

@@ -1,0 +1,42 @@
+"""PBFT protocol messages."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import SchnorrSignature
+
+
+class PbftPhase(enum.Enum):
+    PRE_PREPARE = "pre-prepare"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+    VIEW_CHANGE = "view-change"
+
+
+@dataclass
+class PbftMessage:
+    """One consensus message.
+
+    ``digest`` commits to the proposal; prepare/commit votes are signed so
+    a quorum of them forms the quorum certificate the paper's TSQC builds
+    on.  ``proposal`` is only populated in pre-prepares.
+    """
+
+    phase: PbftPhase
+    view: int
+    sender: str
+    digest: bytes = b""
+    proposal: Any = None
+    signature: SchnorrSignature | None = None
+
+    #: Approximate wire size (bytes) for network accounting: headers, the
+    #: digest and a signature.
+    BASE_SIZE = 160
+
+    @property
+    def size_bytes(self) -> int:
+        proposal_size = getattr(self.proposal, "size_bytes", 0) if self.proposal else 0
+        return self.BASE_SIZE + proposal_size

@@ -1,0 +1,379 @@
+"""Message-level leader-based PBFT for the sidechain committee.
+
+Implements the agreement pattern of Section III / Appendix A: the view's
+leader proposes (pre-prepare), members validate and vote (prepare), a
+quorum of ``2f + 2`` prepares triggers commit votes, and a quorum of
+commits decides.  A leader that proposes an invalid block, or stays
+silent past the timeout, is replaced by view change (Section IV-C,
+handling interruptions).
+
+Every vote is Schnorr-signed and signatures are verified on receipt, so
+the decided block is backed by a verifiable quorum certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.hashing import keccak256
+from repro.crypto.keys import KeyPair, verify_signature
+from repro.errors import ConsensusError
+from repro.sidechain.messages import PbftMessage, PbftPhase
+from repro.simulation.events import EventScheduler
+from repro.simulation.network import Network
+
+
+@dataclass
+class PbftConfig:
+    """Parameters for one consensus instance."""
+
+    members: list[str]
+    quorum: int
+    view_timeout: float = 3.0
+    max_views: int = 8
+
+    def __post_init__(self) -> None:
+        if self.quorum > len(self.members):
+            raise ConsensusError(
+                f"quorum {self.quorum} exceeds committee size {len(self.members)}"
+            )
+
+    def leader(self, view: int) -> str:
+        return self.members[view % len(self.members)]
+
+
+@dataclass
+class ConsensusOutcome:
+    """Result of a PBFT instance."""
+
+    decided: bool
+    proposal: Any = None
+    view: int = 0
+    decided_at: float = 0.0
+    deciders: set[str] = field(default_factory=set)
+    view_changes: int = 0
+
+
+@dataclass
+class _NodeState:
+    """Per-node bookkeeping inside one consensus instance."""
+
+    view: int = 0
+    prepares: dict[tuple[int, bytes], set[str]] = field(default_factory=dict)
+    commits: dict[tuple[int, bytes], set[str]] = field(default_factory=dict)
+    view_change_votes: dict[int, set[str]] = field(default_factory=dict)
+    proposal_by_view: dict[int, Any] = field(default_factory=dict)
+    sent_prepare: set[int] = field(default_factory=set)
+    sent_commit: set[int] = field(default_factory=set)
+    sent_view_change: set[int] = field(default_factory=set)
+    decided: bool = False
+
+
+class PbftRound:
+    """One slot of agreement (a meta-block, a summary-block, or a sync).
+
+    ``proposer_fn(view)`` supplies the proposal the view's leader would
+    offer (return None for a silent leader).  ``validator(proposal)``
+    implements the block-validity predicate.  Byzantine behaviours are
+    injected per node via ``behaviors`` — see
+    :mod:`repro.sidechain.adversary`.
+    """
+
+    def __init__(
+        self,
+        config: PbftConfig,
+        network: Network,
+        scheduler: EventScheduler,
+        keypairs: dict[str, KeyPair],
+        proposer_fn: Callable[[int], Any],
+        validator: Callable[[Any], bool],
+        behaviors: dict[str, "NodeBehavior"] | None = None,
+        endpoint_prefix: str = "pbft",
+    ) -> None:
+        self.config = config
+        self.network = network
+        self.scheduler = scheduler
+        self.keypairs = keypairs
+        self.proposer_fn = proposer_fn
+        self.validator = validator
+        self.behaviors = behaviors or {}
+        self.prefix = endpoint_prefix
+        self.states: dict[str, _NodeState] = {m: _NodeState() for m in config.members}
+        self.outcome = ConsensusOutcome(decided=False)
+        self._timeout_events: dict[str, Any] = {}
+        for member in config.members:
+            self.network.register(
+                self._endpoint(member),
+                lambda msg, m=member: self._on_message(m, msg),
+            )
+
+    # -- public API -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Kick off view 0: the leader proposes, everyone arms a timeout."""
+        for member in self.config.members:
+            self._arm_timeout(member, view=0)
+        self._leader_propose(view=0)
+
+    def run_to_completion(self, max_time: float = 120.0) -> ConsensusOutcome:
+        """Convenience driver: run until every node settled (or timeout).
+
+        Keeps delivering messages after the first decision so in-flight
+        commit votes reach the remaining nodes — all honest members must
+        decide, not just the fastest one.
+        """
+        self.start()
+        while self.scheduler.clock.now < max_time:
+            if self.outcome.decided and all(s.decided for s in self.states.values()):
+                break
+            if not self.scheduler.step():
+                break
+        self.close()
+        return self.outcome
+
+    def close(self) -> None:
+        """Unregister endpoints so another instance can reuse the network."""
+        for member in self.config.members:
+            self.network.unregister(self._endpoint(member))
+
+    # -- leader side -----------------------------------------------------------------
+
+    def _leader_propose(self, view: int) -> None:
+        leader = self.config.leader(view)
+        behavior = self.behaviors.get(leader)
+        if behavior is not None and behavior.silent_as_leader:
+            return  # unresponsive leader: timeouts will trigger view change
+        proposal = self.proposer_fn(view)
+        if behavior is not None and behavior.propose_invalid:
+            proposal = behavior.corrupt(proposal)
+        if proposal is None:
+            return
+        digest = self._digest(proposal)
+        msg = PbftMessage(
+            phase=PbftPhase.PRE_PREPARE,
+            view=view,
+            sender=leader,
+            digest=digest,
+            proposal=proposal,
+            signature=self.keypairs[leader].sign(b"pre-prepare", view, digest),
+        )
+        self._broadcast(leader, msg)
+        # The leader treats its own proposal as received.
+        self._handle_pre_prepare(leader, msg)
+
+    # -- message handling ----------------------------------------------------------------
+
+    def _on_message(self, member: str, raw) -> None:
+        msg: PbftMessage = raw.payload
+        if not self._verify(msg):
+            return
+        if msg.phase is PbftPhase.PRE_PREPARE:
+            self._handle_pre_prepare(member, msg)
+        elif msg.phase is PbftPhase.PREPARE:
+            self._handle_prepare(member, msg)
+        elif msg.phase is PbftPhase.COMMIT:
+            self._handle_commit(member, msg)
+        elif msg.phase is PbftPhase.VIEW_CHANGE:
+            self._handle_view_change(member, msg)
+
+    def _handle_pre_prepare(self, member: str, msg: PbftMessage) -> None:
+        state = self.states[member]
+        if state.decided or msg.view < state.view:
+            return
+        if msg.sender != self.config.leader(msg.view):
+            return  # not from the rightful leader
+        state.proposal_by_view[msg.view] = msg.proposal
+        if not self.validator(msg.proposal):
+            # Invalid proposal: vote to change the leader immediately.
+            self._send_view_change(member, msg.view + 1)
+            return
+        if msg.view in state.sent_prepare:
+            return
+        state.sent_prepare.add(msg.view)
+        behavior = self.behaviors.get(member)
+        if behavior is not None and behavior.withhold_votes:
+            return
+        vote = PbftMessage(
+            phase=PbftPhase.PREPARE,
+            view=msg.view,
+            sender=member,
+            digest=msg.digest,
+            signature=self.keypairs[member].sign(b"prepare", msg.view, msg.digest),
+        )
+        self._broadcast(member, vote)
+        self._record_prepare(member, vote)
+
+    def _handle_prepare(self, member: str, msg: PbftMessage) -> None:
+        self._record_prepare(member, msg)
+
+    def _record_prepare(self, member: str, msg: PbftMessage) -> None:
+        state = self.states[member]
+        if state.decided:
+            return
+        key = (msg.view, msg.digest)
+        voters = state.prepares.setdefault(key, set())
+        voters.add(msg.sender)
+        if len(voters) >= self.config.quorum and msg.view not in state.sent_commit:
+            state.sent_commit.add(msg.view)
+            behavior = self.behaviors.get(member)
+            if behavior is not None and behavior.withhold_votes:
+                return
+            commit = PbftMessage(
+                phase=PbftPhase.COMMIT,
+                view=msg.view,
+                sender=member,
+                digest=msg.digest,
+                signature=self.keypairs[member].sign(b"commit", msg.view, msg.digest),
+            )
+            self._broadcast(member, commit)
+            self._record_commit(member, commit)
+
+    def _handle_commit(self, member: str, msg: PbftMessage) -> None:
+        self._record_commit(member, msg)
+
+    def _record_commit(self, member: str, msg: PbftMessage) -> None:
+        state = self.states[member]
+        if state.decided:
+            return
+        key = (msg.view, msg.digest)
+        voters = state.commits.setdefault(key, set())
+        voters.add(msg.sender)
+        if len(voters) >= self.config.quorum:
+            state.decided = True
+            self._cancel_timeout(member)
+            proposal = state.proposal_by_view.get(msg.view)
+            if not self.outcome.decided:
+                self.outcome.decided = True
+                self.outcome.proposal = proposal
+                self.outcome.view = msg.view
+                self.outcome.decided_at = self.scheduler.clock.now
+                self.outcome.view_changes = msg.view
+            self.outcome.deciders.add(member)
+
+    # -- view change ---------------------------------------------------------------------
+
+    def _handle_view_change(self, member: str, msg: PbftMessage) -> None:
+        state = self.states[member]
+        if state.decided or msg.view <= state.view:
+            return
+        voters = state.view_change_votes.setdefault(msg.view, set())
+        voters.add(msg.sender)
+        # Echo once: seeing f+1 view-change votes means at least one honest
+        # node timed out, so join the view change.
+        if len(voters) >= self.config.quorum:
+            self._enter_view(member, msg.view)
+
+    def _send_view_change(self, member: str, new_view: int) -> None:
+        state = self.states[member]
+        if state.decided or new_view in state.sent_view_change:
+            return
+        state.sent_view_change.add(new_view)
+        msg = PbftMessage(
+            phase=PbftPhase.VIEW_CHANGE,
+            view=new_view,
+            sender=member,
+            digest=b"",
+            signature=self.keypairs[member].sign(b"view-change", new_view),
+        )
+        self._broadcast(member, msg)
+        voters = state.view_change_votes.setdefault(new_view, set())
+        voters.add(member)
+        if len(voters) >= self.config.quorum:
+            self._enter_view(member, new_view)
+
+    def _enter_view(self, member: str, view: int) -> None:
+        state = self.states[member]
+        if view <= state.view:
+            return
+        if view > self.config.max_views:
+            return
+        state.view = view
+        self._arm_timeout(member, view)
+        if member == self.config.leader(view):
+            # New leader re-proposes for the new view.
+            self.scheduler.schedule_after(
+                0.0, lambda: self._leader_propose(view), label="pbft:re-propose"
+            )
+
+    # -- timeouts --------------------------------------------------------------------------
+
+    def _arm_timeout(self, member: str, view: int) -> None:
+        self._cancel_timeout(member)
+        event = self.scheduler.schedule_after(
+            self.config.view_timeout,
+            lambda: self._on_timeout(member, view),
+            label=f"pbft:timeout:{member}",
+        )
+        self._timeout_events[member] = event
+
+    def _cancel_timeout(self, member: str) -> None:
+        event = self._timeout_events.pop(member, None)
+        if event is not None:
+            event.cancel()
+
+    def _on_timeout(self, member: str, view: int) -> None:
+        state = self.states[member]
+        if state.decided or state.view != view:
+            return
+        behavior = self.behaviors.get(member)
+        if behavior is not None and behavior.withhold_votes:
+            return
+        self._send_view_change(member, view + 1)
+
+    # -- plumbing -------------------------------------------------------------------------
+
+    def _endpoint(self, member: str) -> str:
+        return f"{self.prefix}:{member}"
+
+    def _broadcast(self, sender: str, msg: PbftMessage) -> None:
+        recipients = [self._endpoint(m) for m in self.config.members if m != sender]
+        self.network.broadcast(
+            self._endpoint(sender),
+            recipients,
+            kind=msg.phase.value,
+            payload=msg,
+            size_bytes=msg.size_bytes,
+        )
+
+    def _verify(self, msg: PbftMessage) -> bool:
+        keypair = self.keypairs.get(msg.sender)
+        if keypair is None or msg.signature is None:
+            return False
+        if msg.phase is PbftPhase.PRE_PREPARE:
+            parts = (b"pre-prepare", msg.view, msg.digest)
+        elif msg.phase is PbftPhase.PREPARE:
+            parts = (b"prepare", msg.view, msg.digest)
+        elif msg.phase is PbftPhase.COMMIT:
+            parts = (b"commit", msg.view, msg.digest)
+        else:
+            parts = (b"view-change", msg.view)
+        return verify_signature(keypair.pk, msg.signature, *parts)
+
+    @staticmethod
+    def _digest(proposal: Any) -> bytes:
+        return keccak256(repr(proposal))
+
+
+class NodeBehavior:
+    """Byzantine behaviour switches for a committee member.
+
+    ``silent_as_leader`` — never propose when holding the leader slot.
+    ``propose_invalid`` — corrupt the proposal before pre-preparing it.
+    ``withhold_votes`` — receive but never vote (crash-like).
+    """
+
+    def __init__(
+        self,
+        silent_as_leader: bool = False,
+        propose_invalid: bool = False,
+        withhold_votes: bool = False,
+    ) -> None:
+        self.silent_as_leader = silent_as_leader
+        self.propose_invalid = propose_invalid
+        self.withhold_votes = withhold_votes
+
+    @staticmethod
+    def corrupt(proposal: Any) -> Any:
+        """Produce an invalid variant of the proposal."""
+        return ("INVALID", proposal)

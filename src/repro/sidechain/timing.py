@@ -1,0 +1,54 @@
+"""Agreement-time model calibrated to the paper's Table XII.
+
+The measured agreement times grow superlinearly with committee size
+(communication overhead of collective signing).  We fit a quadratic
+``t(c) = a·c² + b·c`` by least squares to the five measured points and use
+it wherever the epoch-level harness needs the consensus duration of a
+large committee.  The message-level PBFT engine produces its own timings
+for small committees; a test cross-checks the two where they overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+
+
+class AgreementTimeModel:
+    """Quadratic fit of PBFT agreement time vs committee size."""
+
+    def __init__(
+        self, calibration: dict[int, float] | None = None
+    ) -> None:
+        points = calibration or constants.AGREEMENT_TIME_BY_COMMITTEE
+        sizes = np.array(sorted(points), dtype=float)
+        times = np.array([points[int(c)] for c in sizes], dtype=float)
+        # Least squares on t = a c^2 + b c (no intercept: zero nodes,
+        # zero time).  A negative curvature would extrapolate to zero at
+        # large committees, so near-linear data falls back to a pure
+        # linear fit (a = 0).
+        design = np.stack([sizes**2, sizes], axis=1)
+        coeffs, *_ = np.linalg.lstsq(design, times, rcond=None)
+        self.a, self.b = float(coeffs[0]), float(coeffs[1])
+        if self.a < 0:
+            # Near-linear data: a pure linear fit.
+            self.a = 0.0
+            self.b = float(np.sum(sizes * times) / np.sum(sizes * sizes))
+        elif self.b < 0:
+            # Near-quadratic data: a pure quadratic fit.
+            self.b = 0.0
+            self.a = float(np.sum(sizes**2 * times) / np.sum(sizes**4))
+        self.calibration = dict(points)
+
+    def agreement_time(self, committee_size: int) -> float:
+        """Predicted seconds for one PBFT agreement."""
+        if committee_size <= 0:
+            raise ValueError(f"committee size must be positive, got {committee_size}")
+        c = float(committee_size)
+        return max(0.0, self.a * c * c + self.b * c)
+
+    def min_round_duration(self, committee_size: int, margin: float = 0.5) -> float:
+        """Shortest viable sidechain round for a committee (Table XII note:
+        "with Sc = 1000 a round should last at least for around 23 s")."""
+        return self.agreement_time(committee_size) + margin

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation substrate.
+
+Provides the shared clock, event scheduler and bounded-delay network used by
+the mainchain and sidechain simulators.  Everything is seeded and
+reproducible: two runs with the same seed produce identical traces.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventScheduler
+from repro.simulation.network import Message, Network, NetworkConfig
+from repro.simulation.rng import DeterministicRng
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventScheduler",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "DeterministicRng",
+]

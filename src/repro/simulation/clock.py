@@ -1,0 +1,41 @@
+"""Simulated wall-clock shared by every component of a run."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Time is a float number of seconds since the start of the run.  Only the
+    owner of the simulation (the event scheduler or an epoch-level runner)
+    should advance it; every other component reads it.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`ValueError` on an attempt to move backwards, which
+        would silently corrupt latency measurements.
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot go backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative dt: {dt}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

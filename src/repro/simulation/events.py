@@ -1,0 +1,114 @@
+"""Discrete-event scheduler driving message-level simulations."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulation.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; the sequence number makes the
+    ordering of same-time events deterministic (FIFO in scheduling order).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A deterministic priority-queue event loop bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.clock.now}"
+            )
+        event = Event(time=time, seq=next(self._counter), callback=callback,
+                      label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, t: float, max_events: int | None = None) -> int:
+        """Run events up to and including time ``t``.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against runaway loops in tests.
+        """
+        executed = 0
+        while self._queue:
+            nxt = self._peek_time()
+            if nxt is None or nxt > t:
+                break
+            if not self.step():
+                break
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if self.clock.now < t:
+            self.clock.advance_to(t)
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        return executed
+
+    def _peek_time(self) -> float | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

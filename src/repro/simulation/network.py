@@ -1,0 +1,155 @@
+"""Bounded-delay message network with adversarial scheduling hooks.
+
+Models the paper's network assumption (Section III): any sent message is
+delivered within Δ seconds, and the adversary may reorder and delay
+messages up to that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulation.events import EventScheduler
+
+
+@dataclass
+class NetworkConfig:
+    """Delivery-latency model for the simulated network.
+
+    ``base_delay`` is the minimum propagation time; messages are delivered
+    after ``base_delay + U(0, jitter)`` seconds, never exceeding
+    ``delta_bound`` (the Δ of the bounded-delay assumption).
+    """
+
+    base_delay: float = 0.05
+    jitter: float = 0.05
+    delta_bound: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0:
+            raise ValueError("delays must be non-negative")
+        if self.base_delay + self.jitter > self.delta_bound:
+            raise ValueError(
+                "base_delay + jitter must not exceed the Δ bound "
+                f"({self.base_delay} + {self.jitter} > {self.delta_bound})"
+            )
+
+
+@dataclass
+class Message:
+    """An in-flight protocol message."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    size_bytes: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+#: A hook the adversary can install to add extra delay (seconds) to a
+#: message.  Returning a value above the remaining Δ budget is clamped, so
+#: the bounded-delay assumption always holds.
+DelayHook = Callable[[Message], float]
+
+
+class Network:
+    """Delivers messages between named endpoints through the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng,
+        config: NetworkConfig | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.rng = rng
+        self.config = config if config is not None else NetworkConfig()
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._adversary_delay: DelayHook | None = None
+        self._partitioned: set[str] = set()
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bytes_sent = 0
+
+    def register(self, name: str, handler: Callable[[Message], None]) -> None:
+        """Attach a message handler to endpoint ``name``."""
+        if name in self._handlers:
+            raise ValueError(f"endpoint already registered: {name}")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def set_adversary_delay(self, hook: DelayHook | None) -> None:
+        """Install (or clear) an adversarial extra-delay hook."""
+        self._adversary_delay = hook
+
+    def partition(self, name: str) -> None:
+        """Crash-partition an endpoint: its inbound messages are dropped.
+
+        Used by fault-injection tests to model unresponsive nodes.  Note
+        that partitioning honest nodes beyond ``f`` violates the adversary
+        model and is only done in tests that expect liveness to fail.
+        """
+        self._partitioned.add(name)
+
+    def heal(self, name: str) -> None:
+        self._partitioned.discard(name)
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 0,
+    ) -> Message:
+        """Queue a message for delivery within the Δ bound."""
+        msg = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            sent_at=self.scheduler.clock.now,
+            size_bytes=size_bytes,
+        )
+        self.bytes_sent += size_bytes
+        delay = self.config.base_delay + self.rng.uniform(0, self.config.jitter)
+        if self._adversary_delay is not None:
+            extra = max(0.0, self._adversary_delay(msg))
+            delay = min(self.config.delta_bound, delay + extra)
+        self.scheduler.schedule_after(
+            delay, lambda: self._deliver(msg), label=f"net:{kind}"
+        )
+        return msg
+
+    def broadcast(
+        self,
+        sender: str,
+        recipients: list[str],
+        kind: str,
+        payload: Any,
+        size_bytes: int = 0,
+    ) -> list[Message]:
+        """Send the same payload to every recipient (independent delays)."""
+        return [
+            self.send(sender, r, kind, payload, size_bytes)
+            for r in recipients
+            if r != sender
+        ]
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.recipient in self._partitioned:
+            self.dropped_count += 1
+            return
+        handler = self._handlers.get(msg.recipient)
+        if handler is None:
+            self.dropped_count += 1
+            return
+        msg.delivered_at = self.scheduler.clock.now
+        self.delivered_count += 1
+        handler(msg)

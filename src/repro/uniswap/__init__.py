@@ -1,0 +1,16 @@
+"""Baseline Uniswap V3 deployment on the mainchain (Appendix C).
+
+The paper's baseline deploys real Uniswap contracts on Sepolia; here the
+same roles — factory, swap router, nonfungible position manager and an
+interface contract — run as contracts on the simulated mainchain, sharing
+the AMM engine with ammBoost's sidechain executor.  Per-operation gas and
+transaction sizes are the paper's measured values (Tables III & IV).
+"""
+
+from repro.uniswap.contracts import (
+    PoolFactory,
+    PositionManager,
+    SwapRouterContract,
+)
+
+__all__ = ["PoolFactory", "PositionManager", "SwapRouterContract"]

@@ -1,0 +1,201 @@
+"""Uniswap V3 periphery contracts for the L1 baseline.
+
+Each operation executes the real AMM engine (so pool state evolves exactly
+as in ammBoost's sidechain) and charges the average gas the paper measured
+for the corresponding Uniswap operation on Sepolia (Table III).  Charging
+the measured averages, rather than re-deriving per-opcode costs, keeps the
+baseline faithful to the numbers the reductions in Figure 5 are computed
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.amm.pool import Pool, PoolConfig
+from repro.amm.quoter import quote_swap
+from repro.amm.router import Router
+from repro.amm import liquidity_math, tick_math
+from repro.errors import RevertError
+from repro.mainchain.contracts.base import CallContext, Contract
+
+
+class PoolFactory(Contract):
+    """Creates pools for token pairs (PoolFactory + PoolDeployer roles)."""
+
+    def __init__(self, address: str = "uniswap:factory") -> None:
+        super().__init__(address)
+        self.pools: dict[tuple[str, str, int], Pool] = {}
+
+    def create_pool(
+        self, ctx: CallContext, token0: str, token1: str, fee_pips: int = 3000
+    ) -> Pool:
+        key = (token0, token1, fee_pips)
+        if key in self.pools:
+            raise RevertError(f"pool exists for {key}")
+        pool = Pool(PoolConfig(token0=token0, token1=token1, fee_pips=fee_pips))
+        self.pools[key] = pool
+        ctx.gas.charge(4_500_000, "create-pool")  # pool deployment is heavy
+        return pool
+
+    def get_pool(self, token0: str, token1: str, fee_pips: int = 3000) -> Pool:
+        pool = self.pools.get((token0, token1, fee_pips))
+        if pool is None:
+            raise RevertError("no such pool")
+        return pool
+
+
+class SwapRouterContract(Contract):
+    """The SwapRouter: ExactInput / ExactOutput entry points."""
+
+    def __init__(self, pool: Pool, address: str = "uniswap:router") -> None:
+        super().__init__(address)
+        self.pool = pool
+        self.router = Router(pool)
+
+    def exact_input(
+        self,
+        ctx: CallContext,
+        zero_for_one: bool,
+        amount_in: int,
+        amount_out_minimum: int = 0,
+    ):
+        quote = self.router.exact_input(zero_for_one, amount_in, amount_out_minimum)
+        ctx.gas.charge(constants.GAS_UNISWAP_SWAP, "swap")
+        return quote
+
+    def exact_output(
+        self,
+        ctx: CallContext,
+        zero_for_one: bool,
+        amount_out: int,
+        amount_in_maximum: int | None = None,
+    ):
+        quote = self.router.exact_output(zero_for_one, amount_out, amount_in_maximum)
+        ctx.gas.charge(constants.GAS_UNISWAP_SWAP, "swap")
+        return quote
+
+    def quote(self, zero_for_one: bool, amount_specified: int):
+        """Lens-style read-only quote (no gas: an off-chain eth_call)."""
+        return quote_swap(self.pool, zero_for_one, amount_specified)
+
+
+@dataclass
+class NftPosition:
+    """An NFPM-managed position (ERC721-wrapped in real Uniswap)."""
+
+    token_id: int
+    owner: str
+    tick_lower: int
+    tick_upper: int
+    liquidity: int
+
+
+class PositionManager(Contract):
+    """The NonfungiblePositionManager: mint / burn / collect."""
+
+    def __init__(self, pool: Pool, address: str = "uniswap:nfpm") -> None:
+        super().__init__(address)
+        self.pool = pool
+        self.positions: dict[int, NftPosition] = {}
+        self._next_token_id = 1
+
+    def mint(
+        self,
+        ctx: CallContext,
+        tick_lower: int,
+        tick_upper: int,
+        amount0_desired: int,
+        amount1_desired: int,
+    ) -> tuple[int, int, int]:
+        """Create a position; returns (token_id, amount0, amount1)."""
+        tick_math.check_tick_range(tick_lower, tick_upper)
+        liquidity = liquidity_math.get_liquidity_for_amounts(
+            self.pool.sqrt_price_x96,
+            tick_math.get_sqrt_ratio_at_tick(tick_lower),
+            tick_math.get_sqrt_ratio_at_tick(tick_upper),
+            amount0_desired,
+            amount1_desired,
+        )
+        if liquidity <= 0:
+            raise RevertError("amounts too small to mint liquidity")
+        token_id = self._next_token_id
+        self._next_token_id += 1
+        owner_key = f"nfpm:{token_id}"
+        amount0, amount1 = self.pool.mint(owner_key, tick_lower, tick_upper, liquidity)
+        self.positions[token_id] = NftPosition(
+            token_id=token_id,
+            owner=ctx.sender,
+            tick_lower=tick_lower,
+            tick_upper=tick_upper,
+            liquidity=liquidity,
+        )
+        ctx.gas.charge(constants.GAS_UNISWAP_MINT, "mint")
+        return token_id, amount0, amount1
+
+    def burn(
+        self, ctx: CallContext, token_id: int, liquidity: int | None = None
+    ) -> tuple[int, int]:
+        """decreaseLiquidity + collect + burn, as one measured operation."""
+        position = self._owned(ctx, token_id)
+        amount = position.liquidity if liquidity is None else liquidity
+        if amount <= 0 or amount > position.liquidity:
+            raise RevertError(f"invalid burn liquidity {amount}")
+        owner_key = f"nfpm:{token_id}"
+        burned0, burned1 = self.pool.burn(
+            owner_key, position.tick_lower, position.tick_upper, amount
+        )
+        self.pool.collect(
+            owner_key, position.tick_lower, position.tick_upper, burned0, burned1
+        )
+        position.liquidity -= amount
+        if position.liquidity == 0:
+            info = self.pool.position(
+                owner_key, position.tick_lower, position.tick_upper
+            )
+            if info is not None and (info.tokens_owed0 or info.tokens_owed1):
+                extra = self.pool.collect(
+                    owner_key,
+                    position.tick_lower,
+                    position.tick_upper,
+                    info.tokens_owed0,
+                    info.tokens_owed1,
+                )
+                burned0 += extra[0]
+                burned1 += extra[1]
+            del self.positions[token_id]
+        ctx.gas.charge(constants.GAS_UNISWAP_BURN, "burn")
+        return burned0, burned1
+
+    def collect(
+        self,
+        ctx: CallContext,
+        token_id: int,
+        amount0_max: int | None = None,
+        amount1_max: int | None = None,
+    ) -> tuple[int, int]:
+        position = self._owned(ctx, token_id)
+        owner_key = f"nfpm:{token_id}"
+        if position.liquidity > 0:
+            self.pool.poke(owner_key, position.tick_lower, position.tick_upper)
+        info = self.pool.position(owner_key, position.tick_lower, position.tick_upper)
+        owed0 = info.tokens_owed0 if info else 0
+        owed1 = info.tokens_owed1 if info else 0
+        want0 = owed0 if amount0_max is None else min(amount0_max, owed0)
+        want1 = owed1 if amount1_max is None else min(amount1_max, owed1)
+        got = (0, 0)
+        if want0 or want1:
+            got = self.pool.collect(
+                owner_key, position.tick_lower, position.tick_upper, want0, want1
+            )
+        ctx.gas.charge(constants.GAS_UNISWAP_COLLECT, "collect")
+        return got
+
+    def _owned(self, ctx: CallContext, token_id: int) -> NftPosition:
+        position = self.positions.get(token_id)
+        if position is None:
+            raise RevertError(f"no position NFT {token_id}")
+        if position.owner != ctx.sender:
+            raise RevertError(f"{ctx.sender} does not own NFT {token_id}")
+        return position

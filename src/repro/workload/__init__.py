@@ -1,0 +1,12 @@
+"""Workload generation: traffic mixes, arrival process, user population."""
+
+from repro.workload.distribution import TrafficDistribution
+from repro.workload.generator import TrafficGenerator, arrival_rate_per_round
+from repro.workload.users import UserPopulation
+
+__all__ = [
+    "TrafficDistribution",
+    "TrafficGenerator",
+    "arrival_rate_per_round",
+    "UserPopulation",
+]

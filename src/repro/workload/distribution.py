@@ -1,0 +1,72 @@
+"""Traffic-mix definitions (Table VII default, Table XI variants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrafficDistribution:
+    """Fractions of each transaction type; must sum to 1."""
+
+    swap: float
+    mint: float
+    burn: float
+    collect: float
+
+    def __post_init__(self) -> None:
+        total = self.swap + self.mint + self.burn + self.collect
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(f"traffic fractions sum to {total}, not 1")
+        for name in ("swap", "mint", "burn", "collect"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"negative fraction for {name}")
+
+    @classmethod
+    def uniswap_2023(cls) -> "TrafficDistribution":
+        """The measured 2023 distribution the paper defaults to."""
+        d = constants.TRAFFIC_DISTRIBUTION
+        # The published percentages sum to 99.98%; renormalise.
+        total = sum(d.values())
+        return cls(
+            swap=d["swap"] / total,
+            mint=d["mint"] / total,
+            burn=d["burn"] / total,
+            collect=d["collect"] / total,
+        )
+
+    @classmethod
+    def from_percentages(cls, swap: float, mint: float, burn: float, collect: float):
+        """Build from whole percentages, e.g. (60, 20, 10, 10) — Table XI."""
+        return cls(swap / 100, mint / 100, burn / 100, collect / 100)
+
+    def as_weights(self) -> tuple[list[str], list[float]]:
+        return (
+            ["swap", "mint", "burn", "collect"],
+            [self.swap, self.mint, self.burn, self.collect],
+        )
+
+    @property
+    def mean_tx_size(self) -> float:
+        """Workload-weighted mean wire size (Ethereum sizes, Table VII)."""
+        sizes = constants.SIZE_UNISWAP_ETHEREUM
+        return (
+            self.swap * sizes["swap"]
+            + self.mint * sizes["mint"]
+            + self.burn * sizes["burn"]
+            + self.collect * sizes["collect"]
+        )
+
+
+#: The six alternative mixes of Table XI, as (swap, mint, burn, collect) %.
+TABLE_XI_MIXES = (
+    (60, 20, 10, 10),
+    (60, 10, 20, 10),
+    (60, 10, 10, 20),
+    (80, 10, 5, 5),
+    (80, 5, 10, 5),
+    (80, 5, 5, 10),
+)

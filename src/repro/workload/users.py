@@ -1,0 +1,72 @@
+"""The AMM user population: clients and liquidity providers.
+
+Users are identified by Schnorr-keypair addresses (Section III's
+PartySetup).  The population tracks which liquidity positions each user
+owns so burns and collects can target real positions, mirroring how the
+paper's traffic generator drives a live deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KeyPair, generate_keypair
+
+
+@dataclass
+class User:
+    """One AMM participant (client and/or LP)."""
+
+    name: str
+    keypair: KeyPair
+    positions: set[str] = field(default_factory=set)
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+
+class UserPopulation:
+    """A fixed set of users generating the AMM's traffic."""
+
+    def __init__(self, num_users: int, seed: int = 0) -> None:
+        if num_users < 1:
+            raise ValueError(f"need at least one user, got {num_users}")
+        self.users: list[User] = []
+        self._by_address: dict[str, User] = {}
+        for i in range(num_users):
+            user = User(name=f"user{i}", keypair=generate_keypair(f"{seed}/user{i}"))
+            self.users.append(user)
+            self._by_address[user.address] = user
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [u.address for u in self.users]
+
+    def by_address(self, address: str) -> User:
+        return self._by_address[address]
+
+    def pick(self, rng) -> User:
+        return rng.choice(self.users)
+
+    def pick_lp_with_position(self, rng) -> User | None:
+        """A user owning at least one position, or None if nobody does."""
+        owners = [u for u in self.users if u.positions]
+        if not owners:
+            return None
+        return rng.choice(owners)
+
+    # -- position ownership feedback from the executor ------------------------
+
+    def on_position_created(self, address: str, position_id: str) -> None:
+        user = self._by_address.get(address)
+        if user is not None:
+            user.positions.add(position_id)
+
+    def on_position_deleted(self, address: str, position_id: str) -> None:
+        user = self._by_address.get(address)
+        if user is not None:
+            user.positions.discard(position_id)

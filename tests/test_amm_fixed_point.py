@@ -1,0 +1,89 @@
+"""Tests for fixed-point math helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.amm.fixed_point import (
+    Q96,
+    Q128,
+    div_rounding_up,
+    encode_price_sqrt,
+    isqrt,
+    mul_div,
+    mul_div_rounding_up,
+)
+
+
+def test_constants():
+    assert Q96 == 2**96
+    assert Q128 == 2**128
+
+
+def test_mul_div_floor():
+    assert mul_div(10, 10, 3) == 33
+
+
+def test_mul_div_rounding_up():
+    assert mul_div_rounding_up(10, 10, 3) == 34
+    assert mul_div_rounding_up(9, 9, 3) == 27  # exact division: no bump
+
+
+def test_div_rounding_up():
+    assert div_rounding_up(10, 3) == 4
+    assert div_rounding_up(9, 3) == 3
+
+
+def test_zero_denominator_rejected():
+    with pytest.raises(ZeroDivisionError):
+        mul_div(1, 1, 0)
+    with pytest.raises(ZeroDivisionError):
+        mul_div_rounding_up(1, 1, 0)
+    with pytest.raises(ZeroDivisionError):
+        div_rounding_up(1, 0)
+
+
+def test_isqrt():
+    assert isqrt(0) == 0
+    assert isqrt(15) == 3
+    assert isqrt(16) == 4
+
+
+def test_isqrt_negative_rejected():
+    with pytest.raises(ValueError):
+        isqrt(-1)
+
+
+def test_encode_price_sqrt_unit_price():
+    assert encode_price_sqrt(1, 1) == Q96
+
+
+def test_encode_price_sqrt_ratio():
+    # price 4 -> sqrt price 2.
+    assert encode_price_sqrt(4, 1) == 2 * Q96
+
+
+def test_encode_price_sqrt_rejects_bad_amounts():
+    with pytest.raises(ValueError):
+        encode_price_sqrt(1, 0)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=2**128),
+    b=st.integers(min_value=0, max_value=2**128),
+    d=st.integers(min_value=1, max_value=2**128),
+)
+def test_rounding_up_ge_floor(a, b, d):
+    floor = mul_div(a, b, d)
+    ceil = mul_div_rounding_up(a, b, d)
+    assert ceil - floor in (0, 1)
+    assert (ceil == floor) == (a * b % d == 0)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=2**160),
+    d=st.integers(min_value=1, max_value=2**96),
+)
+def test_div_rounding_up_property(a, d):
+    result = div_rounding_up(a, d)
+    assert (result - 1) * d < a or a == 0
+    assert result * d >= a

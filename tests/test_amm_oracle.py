@@ -1,0 +1,106 @@
+"""Tests for the TWAP oracle."""
+
+import pytest
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.oracle import Oracle
+from repro.amm.pool import Pool, PoolConfig
+from repro.errors import AMMError
+
+
+@pytest.fixture
+def oracle():
+    o = Oracle(capacity=10)
+    o.initialize(timestamp=0.0)
+    return o
+
+
+def test_initialize_once(oracle):
+    with pytest.raises(AMMError):
+        oracle.initialize(0.0)
+
+
+def test_write_accumulates_tick_time(oracle):
+    oracle.write(10.0, 100)  # tick 100 held for 10s? no: held since t=0
+    assert oracle.latest.tick_cumulative == 100 * 10.0
+
+
+def test_same_timestamp_write_ignored(oracle):
+    oracle.write(10.0, 100)
+    before = len(oracle.observations)
+    oracle.write(10.0, 200)
+    assert len(oracle.observations) == before
+
+
+def test_out_of_order_write_rejected(oracle):
+    oracle.write(10.0, 100)
+    with pytest.raises(AMMError):
+        oracle.write(5.0, 100)
+
+
+def test_ring_buffer_bounded():
+    oracle = Oracle(capacity=3)
+    oracle.initialize(0.0)
+    for t in range(1, 10):
+        oracle.write(float(t), t)
+    assert len(oracle.observations) == 3
+
+
+def test_grow_never_shrinks(oracle):
+    oracle.grow(100)
+    oracle.grow(5)
+    assert oracle.capacity == 100
+
+
+def test_consult_constant_tick(oracle):
+    oracle.write(10.0, 500)
+    # Tick 500 held from t=10 to t=30 (extrapolated).
+    twap = oracle.consult(now=30.0, window=20.0, current_tick=500)
+    assert twap == pytest.approx(500.0)
+
+
+def test_consult_averages_tick_changes(oracle):
+    # tick 0 for [0, 10), then tick 1000 for [10, 20).
+    oracle.write(10.0, 0)
+    oracle.write(20.0, 1000)
+    twap = oracle.consult(now=20.0, window=20.0, current_tick=1000)
+    assert twap == pytest.approx(500.0)
+
+
+def test_consult_interpolates_between_observations(oracle):
+    oracle.write(10.0, 0)
+    oracle.write(30.0, 1200)  # tick 1200 held over [10, 30)
+    twap = oracle.consult(now=25.0, window=10.0, current_tick=1200)
+    assert twap == pytest.approx(1200.0)
+
+
+def test_window_predating_history_rejected(oracle):
+    oracle2 = Oracle(capacity=2)
+    oracle2.initialize(100.0)
+    with pytest.raises(AMMError):
+        oracle2.consult(now=150.0, window=100.0, current_tick=0)
+
+
+def test_nonpositive_window_rejected(oracle):
+    with pytest.raises(AMMError):
+        oracle.consult(now=10.0, window=0.0, current_tick=0)
+
+
+def test_pool_swaps_feed_the_oracle():
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    pool.mint("lp", -60000, 60000, 10**21)
+    pool.swap(True, 10**18, timestamp=7.0)
+    pool.swap(True, 10**18, timestamp=14.0)
+    pool.swap(True, 10**18, timestamp=21.0)
+    # The TWAP lags the (falling) spot tick.
+    twap = pool.oracle.consult(now=21.0, window=14.0, current_tick=pool.tick)
+    assert pool.tick < twap <= 0
+
+
+def test_pool_swap_without_timestamp_skips_oracle():
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    pool.mint("lp", -600, 600, 10**18)
+    pool.swap(True, 10**15)
+    assert len(pool.oracle.observations) == 1  # just the genesis entry

@@ -1,0 +1,129 @@
+"""Property-based tests on pool invariants (hypothesis).
+
+The central invariants the paper's correctness argument leans on:
+reserves never go negative, rounding always favours the pool, and an
+LP can never withdraw more than was deposited plus swap fees.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.pool import Pool, PoolConfig
+from repro.errors import AMMError, LiquidityError
+
+
+def fresh_pool():
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    return pool
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    amounts=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=10**12, max_value=10**18)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_reserves_never_negative_under_swaps(amounts):
+    pool = fresh_pool()
+    pool.mint("lp", -60000, 60000, 10**21)
+    for zero_for_one, amount in amounts:
+        pool.swap(zero_for_one, amount)
+        assert pool.balance0 >= 0
+        assert pool.balance1 >= 0
+        assert pool.liquidity >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    liquidity=st.integers(min_value=10**12, max_value=10**22),
+    lower_spacings=st.integers(min_value=-100, max_value=98),
+    width=st.integers(min_value=1, max_value=50),
+)
+def test_mint_burn_roundtrip_never_profits(liquidity, lower_spacings, width):
+    pool = fresh_pool()
+    tick_lower = lower_spacings * 60
+    tick_upper = tick_lower + width * 60
+    minted0, minted1 = pool.mint("lp", tick_lower, tick_upper, liquidity)
+    burned0, burned1 = pool.burn("lp", tick_lower, tick_upper, liquidity)
+    assert burned0 <= minted0
+    assert burned1 <= minted1
+    # Rounding dust is bounded by one unit per token.
+    assert minted0 - burned0 <= 1
+    assert minted1 - burned1 <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    swaps=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=10**13, max_value=10**17)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_lp_payout_bounded_by_deposits_plus_fees(swaps):
+    pool = fresh_pool()
+    minted0, minted1 = pool.mint("lp", -60000, 60000, 10**21)
+    traders_in0 = traders_in1 = 0
+    for zero_for_one, amount in swaps:
+        result = pool.swap(zero_for_one, amount)
+        traders_in0 += max(result.amount0, 0)
+        traders_in1 += max(result.amount1, 0)
+    pool.burn("lp", -60000, 60000, 10**21)
+    got0, got1 = pool.collect("lp", -60000, 60000, 10**40, 10**40)
+    # Everything the LP withdraws came from its deposit or trader inflows.
+    assert got0 <= minted0 + traders_in0
+    assert got1 <= minted1 + traders_in1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amount=st.integers(min_value=10**12, max_value=10**19),
+    zero_for_one=st.booleans(),
+)
+def test_exact_output_delivers_exactly_or_less(amount, zero_for_one):
+    pool = fresh_pool()
+    pool.mint("lp", -60000, 60000, 10**21)
+    result = pool.swap(zero_for_one, -amount)
+    out = -(result.amount1 if zero_for_one else result.amount0)
+    assert 0 <= out <= amount
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amount=st.integers(min_value=10**13, max_value=10**18),
+    zero_for_one=st.booleans(),
+)
+def test_round_trip_swap_loses_to_fees(amount, zero_for_one):
+    """Swapping back and forth must never yield a profit."""
+    pool = fresh_pool()
+    pool.mint("lp", -60000, 60000, 10**22)
+    first = pool.swap(zero_for_one, amount)
+    received = -(first.amount1 if zero_for_one else first.amount0)
+    if received <= 0:
+        return
+    second = pool.swap(not zero_for_one, received)
+    recovered = -(second.amount0 if zero_for_one else second.amount1)
+    assert recovered <= amount
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_fee_growth_monotone_nondecreasing(seed):
+    from repro.simulation.rng import DeterministicRng
+
+    rng = DeterministicRng(seed)
+    pool = fresh_pool()
+    pool.mint("lp", -60000, 60000, 10**21)
+    last0 = last1 = 0
+    for _ in range(5):
+        try:
+            pool.swap(rng.random() < 0.5, rng.randint(10**13, 10**17))
+        except (AMMError, LiquidityError):
+            continue
+        assert pool.fee_growth_global0_x128 >= last0
+        assert pool.fee_growth_global1_x128 >= last1
+        last0 = pool.fee_growth_global0_x128
+        last1 = pool.fee_growth_global1_x128

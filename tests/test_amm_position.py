@@ -1,0 +1,65 @@
+"""Tests for position accounting."""
+
+import pytest
+
+from repro.amm.fixed_point import Q128
+from repro.amm.position import PositionInfo, PositionKey
+from repro.errors import LiquidityError, PositionError
+
+
+def test_update_adds_liquidity():
+    position = PositionInfo()
+    position.update(1000, 0, 0)
+    assert position.liquidity == 1000
+
+
+def test_update_remove_liquidity():
+    position = PositionInfo(liquidity=1000)
+    position.update(-400, 0, 0)
+    assert position.liquidity == 600
+
+
+def test_underflow_rejected():
+    position = PositionInfo(liquidity=100)
+    with pytest.raises(LiquidityError):
+        position.update(-200, 0, 0)
+
+
+def test_poke_on_empty_position_rejected():
+    with pytest.raises(PositionError):
+        PositionInfo().update(0, 0, 0)
+
+
+def test_fee_credit_on_update():
+    position = PositionInfo(liquidity=10**18)
+    fee_growth = Q128 // 10**6  # ~1e-6 token per unit liquidity
+    position.update(0, fee_growth, 2 * fee_growth)
+    assert position.tokens_owed0 == fee_growth * 10**18 // Q128
+    assert position.tokens_owed1 == (2 * fee_growth) * 10**18 // Q128
+
+
+def test_fee_credit_only_since_last_touch():
+    position = PositionInfo(liquidity=10**18)
+    g1 = Q128 // 10**6
+    position.update(0, g1, 0)
+    owed_after_first = position.tokens_owed0
+    position.update(0, g1, 0)  # no further growth
+    assert position.tokens_owed0 == owed_after_first
+
+
+def test_fee_growth_wraparound_handled():
+    """Fee growth counters wrap; the credited difference must be the small
+    wrapped delta, not a huge bogus value."""
+    position = PositionInfo(liquidity=Q128, fee_growth_inside0_last_x128=Q128 - 5)
+    position.update(0, 3, 0)  # counter wrapped: actual growth is 8
+    assert position.tokens_owed0 == 8  # (3 - (Q128 - 5)) % Q128 == 8
+    assert position.fee_growth_inside0_last_x128 == 3
+
+
+def test_position_key_identity():
+    a = PositionKey("owner", -60, 60)
+    b = PositionKey("owner", -60, 60)
+    c = PositionKey("owner", -60, 120)
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)

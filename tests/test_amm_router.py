@@ -1,0 +1,60 @@
+"""Tests for the swap router's user protections."""
+
+import pytest
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.pool import Pool, PoolConfig
+from repro.amm.router import Router
+from repro.errors import DeadlineError, SlippageError
+
+
+@pytest.fixture
+def router():
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    pool.mint("lp", -60000, 60000, 10**21)
+    return Router(pool)
+
+
+def test_exact_input_returns_quote(router):
+    quote = router.exact_input(True, 10**16)
+    assert quote.amount_in == 10**16
+    assert quote.amount_out > 0
+
+
+def test_exact_input_min_output_enforced(router):
+    with pytest.raises(SlippageError):
+        router.exact_input(True, 10**16, amount_out_minimum=10**17)
+
+
+def test_exact_input_min_output_satisfied(router):
+    quote = router.exact_input(True, 10**16, amount_out_minimum=9 * 10**15)
+    assert quote.amount_out >= 9 * 10**15
+
+
+def test_exact_output_returns_quote(router):
+    quote = router.exact_output(True, 10**16)
+    assert quote.amount_out == 10**16
+    assert quote.amount_in > 10**16  # price + fee
+
+
+def test_exact_output_max_input_enforced(router):
+    with pytest.raises(SlippageError):
+        router.exact_output(True, 10**16, amount_in_maximum=10**15)
+
+
+def test_deadline_enforced(router):
+    with pytest.raises(DeadlineError):
+        router.exact_input(True, 10**16, deadline=5, current_round=6)
+
+
+def test_deadline_at_boundary_allowed(router):
+    quote = router.exact_input(True, 10**16, deadline=5, current_round=5)
+    assert quote.amount_out > 0
+
+
+def test_nonpositive_amounts_rejected(router):
+    with pytest.raises(SlippageError):
+        router.exact_input(True, 0)
+    with pytest.raises(SlippageError):
+        router.exact_output(True, -5)

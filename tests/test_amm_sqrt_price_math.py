@@ -1,0 +1,114 @@
+"""Tests for sqrt-price transition math."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amm import sqrt_price_math as spm
+from repro.amm.fixed_point import Q96, encode_price_sqrt
+from repro.errors import AMMError
+
+
+def test_adding_token0_moves_price_down():
+    price = encode_price_sqrt(1, 1)
+    after = spm.get_next_sqrt_price_from_input(price, 10**18, 10**17, True)
+    assert after < price
+
+
+def test_adding_token1_moves_price_up():
+    price = encode_price_sqrt(1, 1)
+    after = spm.get_next_sqrt_price_from_input(price, 10**18, 10**17, False)
+    assert after > price
+
+
+def test_zero_amount_keeps_price():
+    price = encode_price_sqrt(1, 1)
+    assert spm.get_next_sqrt_price_from_input(price, 10**18, 0, True) == price
+    assert spm.get_next_sqrt_price_from_input(price, 10**18, 0, False) == price
+
+
+def test_output_direction():
+    price = encode_price_sqrt(1, 1)
+    # Paying out token1 (zero_for_one) moves price down.
+    down = spm.get_next_sqrt_price_from_output(price, 10**18, 10**15, True)
+    assert down < price
+    up = spm.get_next_sqrt_price_from_output(price, 10**18, 10**15, False)
+    assert up > price
+
+
+def test_output_exceeding_reserves_rejected():
+    price = encode_price_sqrt(1, 1)
+    with pytest.raises(AMMError):
+        spm.get_next_sqrt_price_from_output(price, 10**3, 10**18, True)
+
+
+def test_input_requires_positive_price_and_liquidity():
+    with pytest.raises(AMMError):
+        spm.get_next_sqrt_price_from_input(0, 10**18, 1, True)
+    with pytest.raises(AMMError):
+        spm.get_next_sqrt_price_from_input(Q96, 0, 1, True)
+
+
+def test_amount0_delta_known_value():
+    # L=1e18 over price range [1, 1.21] (sqrt 1 -> 1.1):
+    # amount0 = L * (1/1 - 1/1.1) ~ 0.0909e18.
+    a = encode_price_sqrt(1, 1)
+    b = encode_price_sqrt(121, 100)
+    amount = spm.get_amount0_delta(a, b, 10**18, round_up=False)
+    assert abs(amount - int(10**18 * (1 - 1 / 1.1))) <= 10**9
+
+
+def test_amount1_delta_known_value():
+    # amount1 = L * (sqrt(1.21) - 1) ~ 0.1e18.
+    a = encode_price_sqrt(1, 1)
+    b = encode_price_sqrt(121, 100)
+    amount = spm.get_amount1_delta(a, b, 10**18, round_up=False)
+    assert abs(amount - 10**17) <= 10**6
+
+
+def test_deltas_symmetric_in_price_order():
+    a = encode_price_sqrt(1, 1)
+    b = encode_price_sqrt(4, 1)
+    assert spm.get_amount0_delta(a, b, 10**18, True) == spm.get_amount0_delta(
+        b, a, 10**18, True
+    )
+    assert spm.get_amount1_delta(a, b, 10**18, True) == spm.get_amount1_delta(
+        b, a, 10**18, True
+    )
+
+
+def test_signed_deltas():
+    a = encode_price_sqrt(1, 1)
+    b = encode_price_sqrt(4, 1)
+    positive = spm.get_amount0_delta_signed(a, b, 10**18)
+    negative = spm.get_amount0_delta_signed(a, b, -(10**18))
+    assert positive > 0 > negative
+    # Burn rounds down, mint rounds up: pool never loses.
+    assert positive >= -negative
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    liquidity=st.integers(min_value=10**6, max_value=10**24),
+    amount=st.integers(min_value=1, max_value=10**20),
+    zero_for_one=st.booleans(),
+)
+def test_input_price_move_reversibility_bound(liquidity, amount, zero_for_one):
+    """Adding then removing the same amount cannot profit the trader."""
+    price = encode_price_sqrt(1, 1)
+    after = spm.get_next_sqrt_price_from_input(price, liquidity, amount, zero_for_one)
+    if zero_for_one:
+        assert after <= price
+    else:
+        assert after >= price
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    liquidity=st.integers(min_value=10**6, max_value=10**24),
+)
+def test_round_trip_amounts_favour_pool(liquidity):
+    a = encode_price_sqrt(1, 1)
+    b = encode_price_sqrt(2, 1)
+    up = spm.get_amount0_delta(a, b, liquidity, round_up=True)
+    down = spm.get_amount0_delta(a, b, liquidity, round_up=False)
+    assert up - down in (0, 1)

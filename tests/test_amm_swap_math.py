@@ -1,0 +1,86 @@
+"""Tests for single-step swap math."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.swap_math import FEE_PIPS_DENOMINATOR, compute_swap_step
+from repro.amm import tick_math
+
+
+def test_exact_input_reaching_target():
+    current = encode_price_sqrt(1, 1)
+    target = encode_price_sqrt(101, 100)  # price up: one-for-zero
+    step = compute_swap_step(current, target, 10**21, 10**20, 3000)
+    assert step.sqrt_price_next_x96 == target
+    assert step.amount_in > 0
+    assert step.amount_out > 0
+
+
+def test_exact_input_partial_fill():
+    current = encode_price_sqrt(1, 1)
+    target = encode_price_sqrt(100, 101)
+    step = compute_swap_step(current, target, 10**24, 10**15, 3000)
+    assert step.sqrt_price_next_x96 > target  # did not reach the target
+    # All input is consumed: in + fee == amount_remaining.
+    assert step.amount_in + step.fee_amount == 10**15
+
+
+def test_exact_output_capped():
+    current = encode_price_sqrt(1, 1)
+    target = encode_price_sqrt(100, 101)
+    step = compute_swap_step(current, target, 10**24, -(10**15), 3000)
+    assert step.amount_out <= 10**15
+
+
+def test_fee_proportional_to_input():
+    current = encode_price_sqrt(1, 1)
+    target = encode_price_sqrt(100, 110)
+    step = compute_swap_step(current, target, 10**24, 10**18, 3000)
+    expected_fee = 10**18 * 3000 // FEE_PIPS_DENOMINATOR
+    assert abs(step.fee_amount - expected_fee) <= 1
+
+
+def test_zero_fee_pool():
+    current = encode_price_sqrt(1, 1)
+    target = encode_price_sqrt(100, 101)
+    step = compute_swap_step(current, target, 10**24, 10**15, 0)
+    assert step.fee_amount == 0
+
+
+def test_direction_detection():
+    current = encode_price_sqrt(1, 1)
+    down = compute_swap_step(current, encode_price_sqrt(99, 100), 10**21, 10**18, 3000)
+    up = compute_swap_step(current, encode_price_sqrt(100, 99), 10**21, 10**18, 3000)
+    assert down.sqrt_price_next_x96 < current < up.sqrt_price_next_x96
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    liquidity=st.integers(min_value=10**10, max_value=10**25),
+    amount=st.integers(min_value=10**3, max_value=10**22),
+    fee=st.sampled_from([100, 500, 3000, 10000]),
+    zero_for_one=st.booleans(),
+)
+def test_exact_input_never_overspends(liquidity, amount, fee, zero_for_one):
+    current = encode_price_sqrt(1, 1)
+    if zero_for_one:
+        target = tick_math.get_sqrt_ratio_at_tick(-10000)
+    else:
+        target = tick_math.get_sqrt_ratio_at_tick(10000)
+    step = compute_swap_step(current, target, liquidity, amount, fee)
+    assert step.amount_in + step.fee_amount <= amount
+    assert step.amount_out >= 0
+    assert step.fee_amount >= 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    liquidity=st.integers(min_value=10**10, max_value=10**25),
+    amount=st.integers(min_value=10**3, max_value=10**22),
+    fee=st.sampled_from([500, 3000]),
+)
+def test_exact_output_never_over_delivers(liquidity, amount, fee):
+    current = encode_price_sqrt(1, 1)
+    target = tick_math.get_sqrt_ratio_at_tick(-10000)
+    step = compute_swap_step(current, target, liquidity, -amount, fee)
+    assert step.amount_out <= amount

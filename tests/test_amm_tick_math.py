@@ -1,0 +1,100 @@
+"""Tests for tick math, cross-checked against known Uniswap values."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amm import tick_math
+from repro.amm.fixed_point import Q96
+from repro.errors import TickError
+
+
+def test_tick_zero_is_unit_price():
+    assert tick_math.get_sqrt_ratio_at_tick(0) == Q96
+
+
+def test_min_and_max_ticks_match_constants():
+    assert tick_math.get_sqrt_ratio_at_tick(tick_math.MIN_TICK) == tick_math.MIN_SQRT_RATIO
+    assert tick_math.get_sqrt_ratio_at_tick(tick_math.MAX_TICK) == tick_math.MAX_SQRT_RATIO
+
+
+def test_monotonically_increasing():
+    previous = 0
+    for tick in range(-1000, 1001, 50):
+        ratio = tick_math.get_sqrt_ratio_at_tick(tick)
+        assert ratio > previous
+        previous = ratio
+
+
+def test_one_tick_is_one_basis_point_ish():
+    # sqrt(1.0001) ~ 1.00005 per tick.
+    r0 = tick_math.get_sqrt_ratio_at_tick(0)
+    r1 = tick_math.get_sqrt_ratio_at_tick(1)
+    ratio = r1 / r0
+    assert abs(ratio - 1.0001**0.5) < 1e-9
+
+
+def test_symmetry_around_zero():
+    # ratio(t) * ratio(-t) ~ Q96^2 (inverse prices).
+    for tick in (1, 100, 5000, 100000):
+        up = tick_math.get_sqrt_ratio_at_tick(tick)
+        down = tick_math.get_sqrt_ratio_at_tick(-tick)
+        product = up * down
+        assert abs(product - Q96 * Q96) / (Q96 * Q96) < 1e-9
+
+
+def test_out_of_bounds_tick_rejected():
+    with pytest.raises(TickError):
+        tick_math.get_sqrt_ratio_at_tick(tick_math.MAX_TICK + 1)
+    with pytest.raises(TickError):
+        tick_math.get_sqrt_ratio_at_tick(tick_math.MIN_TICK - 1)
+
+
+def test_get_tick_at_sqrt_ratio_bounds():
+    with pytest.raises(TickError):
+        tick_math.get_tick_at_sqrt_ratio(tick_math.MIN_SQRT_RATIO - 1)
+    with pytest.raises(TickError):
+        tick_math.get_tick_at_sqrt_ratio(tick_math.MAX_SQRT_RATIO)
+
+
+def test_inverse_at_exact_ratios():
+    for tick in (-887272, -100000, -1, 0, 1, 100000, 887271):
+        ratio = tick_math.get_sqrt_ratio_at_tick(tick)
+        assert tick_math.get_tick_at_sqrt_ratio(ratio) == tick
+
+
+def test_inverse_is_floor_between_ticks():
+    r10 = tick_math.get_sqrt_ratio_at_tick(10)
+    r11 = tick_math.get_sqrt_ratio_at_tick(11)
+    midpoint = (r10 + r11) // 2
+    assert tick_math.get_tick_at_sqrt_ratio(midpoint) == 10
+    assert tick_math.get_tick_at_sqrt_ratio(r11 - 1) == 10
+
+
+def test_check_tick_range():
+    tick_math.check_tick_range(-60, 60)
+    with pytest.raises(TickError):
+        tick_math.check_tick_range(60, 60)
+    with pytest.raises(TickError):
+        tick_math.check_tick_range(120, 60)
+
+
+@settings(max_examples=200, deadline=None)
+# MAX_TICK itself is excluded: its ratio equals MAX_SQRT_RATIO, which the
+# inverse rejects (same contract as TickMath.getTickAtSqrtRatio).
+@given(tick=st.integers(min_value=tick_math.MIN_TICK, max_value=tick_math.MAX_TICK - 1))
+def test_roundtrip_property(tick):
+    ratio = tick_math.get_sqrt_ratio_at_tick(tick)
+    assert tick_math.get_tick_at_sqrt_ratio(ratio) == tick
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ratio=st.integers(
+        min_value=tick_math.MIN_SQRT_RATIO, max_value=tick_math.MAX_SQRT_RATIO - 1
+    )
+)
+def test_floor_semantics_property(ratio):
+    tick = tick_math.get_tick_at_sqrt_ratio(ratio)
+    assert tick_math.get_sqrt_ratio_at_tick(tick) <= ratio
+    if tick < tick_math.MAX_TICK:
+        assert tick_math.get_sqrt_ratio_at_tick(tick + 1) > ratio

@@ -1,0 +1,167 @@
+"""Tests for the Section III functional API facade."""
+
+import pytest
+
+from repro.core import api
+from repro.core.transactions import (
+    BurnTx,
+    CollectTx,
+    DepositRequest,
+    MintTx,
+    SwapTx,
+    TxType,
+)
+from repro.errors import ConfigurationError
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+
+
+# -- SystemSetup / PartySetup ---------------------------------------------------
+
+
+def test_system_setup_returns_pp_and_genesis():
+    pp, ledger = api.system_setup(128, b"block-hash")
+    assert pp.epoch_length == 30
+    assert pp.genesis_reference != b""
+    assert ledger.current_bytes == 0
+
+
+def test_system_setup_rejects_weak_lambda():
+    with pytest.raises(ConfigurationError):
+        api.system_setup(40, b"x")
+
+
+def test_party_setup_roles():
+    pp, _ = api.system_setup(128, b"x")
+    client = api.party_setup(pp, "client", seed="c1")
+    miner = api.party_setup(pp, "miner", seed="m1")
+    assert client.vrf is None
+    assert miner.vrf is not None
+    assert miner.ledger_view is not None
+    assert client.address.startswith("0x")
+
+
+def test_party_setup_unknown_role():
+    pp, _ = api.system_setup(128, b"x")
+    with pytest.raises(ConfigurationError):
+        api.party_setup(pp, "oracle", seed="o")
+
+
+# -- CreateTx / VerifyTx ----------------------------------------------------------
+
+
+def test_create_tx_every_type():
+    assert isinstance(api.create_tx(TxType.SWAP, user="u", amount=5), SwapTx)
+    assert isinstance(
+        api.create_tx("mint", user="u", tick_lower=-60, tick_upper=60,
+                      amount0_desired=1, amount1_desired=1),
+        MintTx,
+    )
+    assert isinstance(api.create_tx("burn", user="u", position_id="p"), BurnTx)
+    assert isinstance(api.create_tx("collect", user="u", position_id="p"), CollectTx)
+    assert isinstance(
+        api.create_tx("deposit", user="u", amount0=1, amount1=2), DepositRequest
+    )
+
+
+def test_create_tx_rejects_flash():
+    with pytest.raises(ConfigurationError):
+        api.create_tx(TxType.FLASH)
+
+
+@pytest.mark.parametrize(
+    "tx,valid",
+    [
+        (SwapTx(user="u", amount=10), True),
+        (SwapTx(user="u", amount=0), False),
+        (SwapTx(user="", amount=10), False),
+        (SwapTx(user="u", amount=10, amount_limit=-1), False),
+        (MintTx(user="u", tick_lower=-60, tick_upper=60,
+                amount0_desired=1, amount1_desired=0), True),
+        (MintTx(user="u", tick_lower=60, tick_upper=60,
+                amount0_desired=1, amount1_desired=1), False),
+        (MintTx(user="u", tick_lower=-60, tick_upper=60,
+                amount0_desired=0, amount1_desired=0), False),
+        (BurnTx(user="u", position_id="p"), True),
+        (BurnTx(user="u", position_id=""), False),
+        (BurnTx(user="u", position_id="p", liquidity=0), False),
+        (CollectTx(user="u", position_id="p"), True),
+        (CollectTx(user="u", position_id="p", amount0=-1), False),
+        (DepositRequest(user="u", amount0=5, amount1=0), True),
+        (DepositRequest(user="u", amount0=0, amount1=0), False),
+        ("not a tx", False),
+    ],
+)
+def test_verify_tx(tx, valid):
+    assert api.verify_tx(tx) is valid
+
+
+# -- VerifyBlock / UpdateState / Prune -----------------------------------------------
+
+
+def _sealed_meta(epoch=0, round_index=0, txs=()):
+    block = MetaBlock(epoch=epoch, round_index=round_index,
+                      transactions=list(txs))
+    block.seal()
+    return block
+
+
+def test_verify_block_accepts_sealed_meta():
+    _, ledger = api.system_setup(128, b"x")
+    assert api.verify_block(ledger, _sealed_meta(), "meta")
+
+
+def test_verify_block_rejects_tampered_root():
+    _, ledger = api.system_setup(128, b"x")
+    block = _sealed_meta(txs=[SwapTx(user="u", amount=5)])
+    block.transactions.append(SwapTx(user="eve", amount=7))  # not resealed
+    assert not api.verify_block(ledger, block, "meta")
+
+
+def test_verify_block_rejects_invalid_tx():
+    _, ledger = api.system_setup(128, b"x")
+    block = _sealed_meta(txs=[SwapTx(user="u", amount=0)])
+    assert not api.verify_block(ledger, block, "meta")
+
+
+def test_verify_summary_block_checks_meta_hashes():
+    _, ledger = api.system_setup(128, b"x")
+    meta = _sealed_meta()
+    api.update_state(ledger, meta, "meta")
+    good = SummaryBlock(epoch=0, meta_block_hashes=(meta.block_hash,))
+    bad = SummaryBlock(epoch=0, meta_block_hashes=())
+    assert api.verify_block(ledger, good, "summary")
+    assert not api.verify_block(ledger, bad, "summary")
+
+
+def test_update_state_rejects_invalid():
+    _, ledger = api.system_setup(128, b"x")
+    block = _sealed_meta(txs=[SwapTx(user="u", amount=0)])
+    with pytest.raises(ConfigurationError):
+        api.update_state(ledger, block, "meta")
+
+
+def test_full_api_lifecycle():
+    """SystemSetup -> PartySetup -> blocks -> Elect -> sync -> Prune."""
+    pp, ledger = api.system_setup(128, b"genesis")
+    miners = {
+        f"m{i}": api.party_setup(pp, "miner", seed=f"m{i}") for i in range(8)
+    }
+    committee, leader = api.elect(miners, epoch=0, seed=b"s", committee_size=5)
+    assert leader in committee.members
+
+    meta = _sealed_meta(epoch=0)
+    api.update_state(ledger, meta, "meta")
+    summary = SummaryBlock(epoch=0, meta_block_hashes=(meta.block_hash,))
+    api.update_state(ledger, summary, "summary")
+
+    ledger.mark_synced(0)
+    api.prune(ledger)
+    assert ledger.live_meta_blocks(0) == []
+    assert 0 in ledger.summary_blocks
+
+
+def test_elect_rejects_non_miner():
+    pp, _ = api.system_setup(128, b"x")
+    parties = {"c": api.party_setup(pp, "client", seed="c")}
+    with pytest.raises(ConfigurationError):
+        api.elect(parties, epoch=0, seed=b"s", committee_size=1)

@@ -1,0 +1,71 @@
+"""Tests for the user-side deposit planner."""
+
+import pytest
+
+from repro.core.deposits import DepositPlanner, epoch_spending
+
+
+def test_first_observation_seeds_estimate():
+    planner = DepositPlanner(headroom=2.0, minimum=0)
+    planner.observe_epoch(1000, 500)
+    plan = planner.plan(0, 0)
+    assert plan.target0 == 2000
+    assert plan.target1 == 1000
+
+
+def test_ewma_smooths_spending():
+    planner = DepositPlanner(alpha=0.5, headroom=1.0, minimum=0)
+    planner.observe_epoch(1000, 0)
+    planner.observe_epoch(3000, 0)
+    plan = planner.plan(0, 0)
+    assert plan.target0 == 2000  # midpoint with alpha 0.5
+
+
+def test_minimum_floor():
+    planner = DepositPlanner(minimum=10**15)
+    plan = planner.plan(0, 0)
+    assert plan.target0 == 10**15
+
+
+def test_topup_accounts_for_existing_balance():
+    planner = DepositPlanner(headroom=1.0, minimum=0)
+    planner.observe_epoch(1000, 1000)
+    plan = planner.plan(current0=600, current1=1500)
+    assert plan.topup0 == 400
+    assert plan.topup1 == 0
+    assert plan.needs_deposit
+
+
+def test_no_deposit_needed_when_covered():
+    planner = DepositPlanner(headroom=1.0, minimum=0)
+    planner.observe_epoch(100, 100)
+    plan = planner.plan(1000, 1000)
+    assert not plan.needs_deposit
+
+
+def test_negative_spending_rejected():
+    with pytest.raises(ValueError):
+        DepositPlanner().observe_epoch(-1, 0)
+
+
+def test_epoch_spending_helper():
+    assert epoch_spending((1000, 1000), (400, 1200)) == (600, 0)
+
+
+def test_planner_covers_steady_workload():
+    """A user spending a steady amount never gets rejected after warmup."""
+    planner = DepositPlanner(alpha=0.3, headroom=2.0, minimum=0)
+    spending = 10**6
+    balance = 0
+    rejections = 0
+    for epoch in range(10):
+        plan = planner.plan(balance, balance)
+        balance += plan.topup0
+        if balance < spending:
+            rejections += 1 if epoch > 0 else 0
+            spent = 0
+        else:
+            spent = spending
+            balance -= spent
+        planner.observe_epoch(spent if spent else spending, 0)
+    assert rejections == 0

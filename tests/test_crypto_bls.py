@@ -1,0 +1,121 @@
+"""Tests for (threshold) BLS over the symbolic pairing group."""
+
+import pytest
+
+from repro.crypto.bls import (
+    ThresholdBls,
+    bls_aggregate,
+    bls_keygen,
+    bls_sign,
+    bls_verify,
+)
+from repro.crypto.groups import G1Element, G2Element, PairingGroup
+from repro.crypto.shamir import split_secret
+from repro.errors import SignatureError, ThresholdError
+from repro.simulation.rng import DeterministicRng
+
+
+def test_sign_verify_roundtrip():
+    kp = bls_keygen("alice")
+    sig = bls_sign(kp.sk, b"message")
+    assert bls_verify(kp.vk, sig, b"message")
+
+
+def test_wrong_message_fails():
+    kp = bls_keygen("alice")
+    sig = bls_sign(kp.sk, b"message")
+    assert not bls_verify(kp.vk, sig, b"other")
+
+
+def test_wrong_key_fails():
+    alice, bob = bls_keygen("alice"), bls_keygen("bob")
+    sig = bls_sign(alice.sk, b"m")
+    assert not bls_verify(bob.vk, sig, b"m")
+
+
+def test_signature_sizes_match_bn256():
+    kp = bls_keygen("alice")
+    sig = bls_sign(kp.sk, b"m")
+    assert len(sig.encode()) == 64
+    assert len(kp.vk.encode()) == 128
+
+
+def test_aggregation_of_same_message_signatures():
+    keys = [bls_keygen(f"k{i}") for i in range(3)]
+    sigs = [bls_sign(k.sk, b"m") for k in keys]
+    agg = bls_aggregate(sigs)
+    agg_vk = keys[0].vk + keys[1].vk + keys[2].vk
+    assert bls_verify(agg_vk, agg, b"m")
+
+
+def test_empty_aggregation_rejected():
+    with pytest.raises(SignatureError):
+        bls_aggregate([])
+
+
+def test_pairing_check_bilinearity():
+    g1, g2 = PairingGroup.G1, PairingGroup.G2
+    a, b = 12345, 67890
+    # e(a*G1, b*G2) == e(ab*G1, G2)
+    assert PairingGroup.pairing_check(g1 * a, g2 * b, g1 * (a * b), g2)
+    assert not PairingGroup.pairing_check(g1 * a, g2 * b, g1 * (a * b + 1), g2)
+
+
+def test_hash_to_g1_deterministic():
+    assert PairingGroup.hash_to_g1(b"x") == PairingGroup.hash_to_g1(b"x")
+    assert PairingGroup.hash_to_g1(b"x") != PairingGroup.hash_to_g1(b"y")
+
+
+def _threshold_setup(threshold, num, seed=0):
+    rng = DeterministicRng(seed)
+    order = PairingGroup.ORDER
+    sk = rng.randint(0, order - 1)
+    shares = split_secret(sk, threshold, num, order, rng)
+    scheme = ThresholdBls(threshold=threshold, group_vk=PairingGroup.G2 * sk)
+    return scheme, shares, sk
+
+
+def test_threshold_sign_with_exact_quorum():
+    scheme, shares, _ = _threshold_setup(3, 5)
+    partials = [ThresholdBls.partial_sign(s, b"msg") for s in shares[:3]]
+    sig = scheme.combine(partials)
+    assert scheme.verify(sig, b"msg")
+
+
+def test_threshold_sign_with_different_subsets_agree():
+    scheme, shares, sk = _threshold_setup(3, 6)
+    subset_a = [ThresholdBls.partial_sign(s, b"msg") for s in shares[:3]]
+    subset_b = [ThresholdBls.partial_sign(s, b"msg") for s in shares[3:]]
+    sig_a = scheme.combine(subset_a)
+    sig_b = scheme.combine(subset_b)
+    # Threshold BLS reconstructs the unique group signature.
+    assert sig_a == sig_b == bls_sign(sk, b"msg")
+
+
+def test_too_few_partials_rejected():
+    scheme, shares, _ = _threshold_setup(4, 5)
+    partials = [ThresholdBls.partial_sign(s, b"msg") for s in shares[:3]]
+    with pytest.raises(ThresholdError):
+        scheme.combine(partials)
+
+
+def test_duplicate_partials_rejected():
+    scheme, shares, _ = _threshold_setup(2, 4)
+    partial = ThresholdBls.partial_sign(shares[0], b"msg")
+    with pytest.raises(ThresholdError):
+        scheme.combine([partial, partial])
+
+
+def test_forged_partial_breaks_signature():
+    scheme, shares, _ = _threshold_setup(2, 4)
+    good = ThresholdBls.partial_sign(shares[0], b"msg")
+    from repro.crypto.bls import BlsSignature
+
+    forged = (shares[1].x, BlsSignature(point=G1Element(12345)))
+    sig = scheme.combine([good, forged])
+    assert not scheme.verify(sig, b"msg")
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ThresholdError):
+        ThresholdBls(threshold=0, group_vk=G2Element(1))

@@ -1,0 +1,63 @@
+"""Tests for distributed key generation."""
+
+import pytest
+
+from repro.crypto.bls import ThresholdBls, bls_sign
+from repro.crypto.dkg import run_dkg, simulate_dkg
+from repro.crypto.groups import PairingGroup
+from repro.errors import ThresholdError
+from repro.simulation.rng import DeterministicRng
+
+
+@pytest.mark.parametrize("factory", [run_dkg, simulate_dkg])
+def test_dkg_produces_working_threshold_key(factory):
+    rng = DeterministicRng(0)
+    result = factory(5, 3, rng)
+    scheme = ThresholdBls(threshold=3, group_vk=result.group_vk)
+    partials = [ThresholdBls.partial_sign(s, b"sync") for s in result.shares[:3]]
+    sig = scheme.combine(partials)
+    assert scheme.verify(sig, b"sync")
+
+
+@pytest.mark.parametrize("factory", [run_dkg, simulate_dkg])
+def test_group_vk_matches_group_sk(factory):
+    rng = DeterministicRng(1)
+    result = factory(4, 2, rng)
+    assert result.group_vk == PairingGroup.G2 * result._group_sk
+    # The combined threshold signature equals the direct group signature.
+    scheme = ThresholdBls(threshold=2, group_vk=result.group_vk)
+    partials = [ThresholdBls.partial_sign(s, b"m") for s in result.shares[:2]]
+    assert scheme.combine(partials) == bls_sign(result._group_sk, b"m")
+
+
+@pytest.mark.parametrize("factory", [run_dkg, simulate_dkg])
+def test_any_quorum_subset_reconstructs(factory):
+    rng = DeterministicRng(2)
+    result = factory(6, 4, rng)
+    scheme = ThresholdBls(threshold=4, group_vk=result.group_vk)
+    subset = [result.shares[i] for i in (0, 2, 3, 5)]
+    partials = [ThresholdBls.partial_sign(s, b"m") for s in subset]
+    assert scheme.verify(scheme.combine(partials), b"m")
+
+
+@pytest.mark.parametrize("factory", [run_dkg, simulate_dkg])
+def test_share_count_and_indices(factory):
+    rng = DeterministicRng(3)
+    result = factory(7, 3, rng)
+    assert result.num_members == 7
+    assert [s.x for s in result.shares] == list(range(1, 8))
+
+
+@pytest.mark.parametrize("factory", [run_dkg, simulate_dkg])
+def test_invalid_threshold_rejected(factory):
+    rng = DeterministicRng(4)
+    with pytest.raises(ThresholdError):
+        factory(3, 0, rng)
+    with pytest.raises(ThresholdError):
+        factory(3, 4, rng)
+
+
+def test_different_runs_produce_different_keys():
+    a = simulate_dkg(4, 2, DeterministicRng(10))
+    b = simulate_dkg(4, 2, DeterministicRng(11))
+    assert a.group_vk != b.group_vk

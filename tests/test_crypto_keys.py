@@ -1,0 +1,98 @@
+"""Tests for Schnorr keypairs and signatures."""
+
+import pytest
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.keys import (
+    KeyPair,
+    generate_keypair,
+    require_valid_signature,
+    verify_signature,
+)
+from repro.errors import SignatureError
+
+GROUP = SchnorrGroup.small_test_group()
+
+
+def _keypair(seed) -> KeyPair:
+    return generate_keypair(seed, group=GROUP)
+
+
+def test_deterministic_keygen():
+    assert _keypair("a").pk == _keypair("a").pk
+
+
+def test_different_seeds_different_keys():
+    assert _keypair("a").pk != _keypair("b").pk
+
+
+def test_sign_verify_roundtrip():
+    kp = _keypair("signer")
+    sig = kp.sign(b"message")
+    assert kp.verify(sig, b"message")
+
+
+def test_wrong_message_fails():
+    kp = _keypair("signer")
+    sig = kp.sign(b"message")
+    assert not kp.verify(sig, b"other")
+
+
+def test_wrong_key_fails():
+    kp = _keypair("signer")
+    other = _keypair("other")
+    sig = kp.sign(b"message")
+    assert not verify_signature(other.pk, sig, b"message", group=GROUP)
+
+
+def test_multi_part_messages():
+    kp = _keypair("signer")
+    sig = kp.sign(b"part1", 42, "part3")
+    assert kp.verify(sig, b"part1", 42, "part3")
+    assert not kp.verify(sig, b"part1", 43, "part3")
+
+
+def test_signature_deterministic():
+    kp = _keypair("signer")
+    assert kp.sign(b"m") == kp.sign(b"m")
+
+
+def test_tampered_signature_fails():
+    kp = _keypair("signer")
+    sig = kp.sign(b"m")
+    from repro.crypto.keys import SchnorrSignature
+
+    tampered = SchnorrSignature(s=(sig.s + 1) % GROUP.q, e=sig.e)
+    assert not kp.verify(tampered, b"m")
+
+
+def test_out_of_range_signature_rejected():
+    from repro.crypto.keys import SchnorrSignature
+
+    kp = _keypair("signer")
+    assert not kp.verify(SchnorrSignature(s=GROUP.q, e=1), b"m")
+    assert not kp.verify(SchnorrSignature(s=1, e=0), b"m")
+
+
+def test_require_valid_signature_raises():
+    kp = _keypair("signer")
+    sig = kp.sign(b"m")
+    with pytest.raises(SignatureError):
+        require_valid_signature(kp.pk, sig, b"wrong")
+
+
+def test_address_format():
+    kp = _keypair("signer")
+    assert kp.address.startswith("0x")
+    assert len(kp.address) == 42
+
+
+def test_default_group_roundtrip():
+    kp = generate_keypair("default-group-user")
+    sig = kp.sign(b"msg")
+    assert kp.verify(sig, b"msg")
+
+
+def test_group_rejects_bad_generator():
+    with pytest.raises(ValueError):
+        SchnorrGroup(p=GROUP.p, q=GROUP.q, g=1)

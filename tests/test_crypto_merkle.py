@@ -1,0 +1,77 @@
+"""Tests for Merkle trees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleTree, verify_merkle_proof
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree([b"only"])
+    proof = tree.prove(0)
+    assert verify_merkle_proof(tree.root, b"only", proof)
+
+
+def test_two_leaf_tree():
+    tree = MerkleTree([b"a", b"b"])
+    for i, leaf in enumerate([b"a", b"b"]):
+        assert verify_merkle_proof(tree.root, leaf, tree.prove(i))
+
+
+def test_odd_leaf_count_promotion():
+    leaves = [b"a", b"b", b"c"]
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert verify_merkle_proof(tree.root, leaf, tree.prove(i)), i
+
+
+def test_wrong_leaf_fails():
+    tree = MerkleTree([b"a", b"b", b"c", b"d"])
+    proof = tree.prove(1)
+    assert not verify_merkle_proof(tree.root, b"x", proof)
+
+
+def test_wrong_index_proof_fails():
+    tree = MerkleTree([b"a", b"b", b"c", b"d"])
+    assert not verify_merkle_proof(tree.root, b"a", tree.prove(1))
+
+
+def test_root_changes_with_content():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+
+def test_root_changes_with_order():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+
+def test_leaf_interior_domain_separation():
+    # A tree over the *hashes* of leaves must not equal the parent tree.
+    inner = MerkleTree([b"a", b"b"])
+    outer = MerkleTree([inner.root])
+    assert inner.root != outer.root
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_out_of_range_index_rejected():
+    tree = MerkleTree([b"a"])
+    with pytest.raises(IndexError):
+        tree.prove(1)
+
+
+def test_len():
+    assert len(MerkleTree([b"a", b"b", b"c"])) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    leaves=st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_all_proofs_verify_property(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    assert verify_merkle_proof(tree.root, leaves[index], tree.prove(index))

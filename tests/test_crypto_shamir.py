@@ -1,0 +1,84 @@
+"""Tests for Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.shamir import reconstruct_secret, split_secret
+from repro.errors import ThresholdError
+from repro.simulation.rng import DeterministicRng
+
+PRIME = 2**127 - 1  # a Mersenne prime
+
+
+def test_reconstruct_with_exact_threshold():
+    rng = DeterministicRng(0)
+    shares = split_secret(12345, threshold=3, num_shares=5, modulus=PRIME, rng=rng)
+    assert reconstruct_secret(shares[:3], PRIME) == 12345
+
+
+def test_reconstruct_with_any_subset():
+    rng = DeterministicRng(1)
+    shares = split_secret(999, threshold=3, num_shares=6, modulus=PRIME, rng=rng)
+    assert reconstruct_secret([shares[0], shares[2], shares[5]], PRIME) == 999
+    assert reconstruct_secret([shares[5], shares[1], shares[3]], PRIME) == 999
+
+
+def test_reconstruct_with_more_than_threshold():
+    rng = DeterministicRng(2)
+    shares = split_secret(7, threshold=2, num_shares=5, modulus=PRIME, rng=rng)
+    assert reconstruct_secret(shares, PRIME) == 7
+
+
+def test_below_threshold_reveals_nothing_useful():
+    rng = DeterministicRng(3)
+    shares = split_secret(42, threshold=3, num_shares=5, modulus=PRIME, rng=rng)
+    # With fewer shares Lagrange at zero gives a different (wrong) value
+    # for almost all polynomials; assert it is not accidentally correct.
+    wrong = reconstruct_secret(shares[:2], PRIME)
+    assert wrong != 42
+
+
+def test_threshold_one_is_a_constant_share():
+    rng = DeterministicRng(4)
+    shares = split_secret(55, threshold=1, num_shares=3, modulus=PRIME, rng=rng)
+    assert all(s.y == 55 for s in shares)
+
+
+def test_duplicate_share_indices_rejected():
+    rng = DeterministicRng(5)
+    shares = split_secret(1, threshold=2, num_shares=3, modulus=PRIME, rng=rng)
+    with pytest.raises(ThresholdError):
+        reconstruct_secret([shares[0], shares[0]], PRIME)
+
+
+def test_empty_share_list_rejected():
+    with pytest.raises(ThresholdError):
+        reconstruct_secret([], PRIME)
+
+
+def test_invalid_threshold_rejected():
+    rng = DeterministicRng(6)
+    with pytest.raises(ThresholdError):
+        split_secret(1, threshold=0, num_shares=3, modulus=PRIME, rng=rng)
+    with pytest.raises(ThresholdError):
+        split_secret(1, threshold=4, num_shares=3, modulus=PRIME, rng=rng)
+
+
+def test_secret_outside_field_rejected():
+    rng = DeterministicRng(7)
+    with pytest.raises(ThresholdError):
+        split_secret(PRIME, threshold=2, num_shares=3, modulus=PRIME, rng=rng)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    secret=st.integers(min_value=0, max_value=PRIME - 1),
+    threshold=st.integers(min_value=1, max_value=6),
+    extra=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_roundtrip_property(secret, threshold, extra, seed):
+    rng = DeterministicRng(seed)
+    num_shares = threshold + extra
+    shares = split_secret(secret, threshold, num_shares, PRIME, rng)
+    assert reconstruct_secret(shares[:threshold], PRIME) == secret

@@ -1,0 +1,72 @@
+"""Tests for the VRF used by sortition."""
+
+import pytest
+
+from repro.crypto.bls import BlsSignature
+from repro.crypto.groups import G1Element
+from repro.crypto.vrf import VrfOutput, require_valid_vrf, vrf_keygen, vrf_verify
+from repro.errors import VRFError
+
+
+def test_evaluate_verify_roundtrip():
+    kp = vrf_keygen("miner1")
+    out = kp.evaluate(b"epoch", 7)
+    assert vrf_verify(kp.vk, out, b"epoch", 7)
+
+
+def test_wrong_input_fails():
+    kp = vrf_keygen("miner1")
+    out = kp.evaluate(b"epoch", 7)
+    assert not vrf_verify(kp.vk, out, b"epoch", 8)
+
+
+def test_wrong_key_fails():
+    kp1, kp2 = vrf_keygen("miner1"), vrf_keygen("miner2")
+    out = kp1.evaluate(b"epoch", 7)
+    assert not vrf_verify(kp2.vk, out, b"epoch", 7)
+
+
+def test_output_deterministic_per_key():
+    kp = vrf_keygen("miner1")
+    assert kp.evaluate(b"x").value == kp.evaluate(b"x").value
+
+
+def test_outputs_differ_across_keys():
+    a = vrf_keygen("miner1").evaluate(b"x")
+    b = vrf_keygen("miner2").evaluate(b"x")
+    assert a.value != b.value
+
+
+def test_unit_float_in_range():
+    kp = vrf_keygen("miner1")
+    for i in range(50):
+        f = kp.evaluate(b"epoch", i).as_unit_float()
+        assert 0 <= f < 1
+
+
+def test_unit_floats_well_distributed():
+    kp = vrf_keygen("miner1")
+    values = [kp.evaluate(b"epoch", i).as_unit_float() for i in range(200)]
+    mean = sum(values) / len(values)
+    assert 0.4 < mean < 0.6
+
+
+def test_claimed_value_must_match_proof():
+    kp = vrf_keygen("miner1")
+    out = kp.evaluate(b"x")
+    forged = VrfOutput(value=b"\x00" * 32, proof=out.proof)
+    assert not vrf_verify(kp.vk, forged, b"x")
+
+
+def test_forged_proof_rejected():
+    kp = vrf_keygen("miner1")
+    out = kp.evaluate(b"x")
+    forged = VrfOutput(value=out.value, proof=BlsSignature(point=G1Element(999)))
+    assert not vrf_verify(kp.vk, forged, b"x")
+
+
+def test_require_valid_vrf_raises():
+    kp = vrf_keygen("miner1")
+    out = kp.evaluate(b"x")
+    with pytest.raises(VRFError):
+        require_valid_vrf(kp.vk, out, b"wrong")

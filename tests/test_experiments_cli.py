@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+def test_all_paper_artifacts_have_runners():
+    expected = {f"table{i}" for i in range(2, 13)} | {"figure5"}
+    assert set(RUNNERS) == expected
+
+
+def test_list_returns_zero(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["table99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown" in err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Payout entry" in out
+
+
+def test_module_invocation():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "table12"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "committee" in proc.stdout

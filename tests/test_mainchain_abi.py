@@ -1,0 +1,38 @@
+"""Tests for the ABI size model."""
+
+from repro.mainchain.abi import (
+    SELECTOR_SIZE,
+    abi_array_size,
+    abi_encoded_size,
+    abi_head_tail_size,
+)
+
+
+def test_selector_plus_static_words():
+    assert abi_encoded_size([1, 1]) == SELECTOR_SIZE + 64
+
+
+def test_no_args_is_selector_only():
+    assert abi_encoded_size([]) == SELECTOR_SIZE
+
+
+def test_dynamic_array_size():
+    # offset + length + 3 elements of 2 words each
+    assert abi_array_size(3, 2) == (2 + 6) * 32
+
+
+def test_head_tail_static_only():
+    assert abi_head_tail_size(3, []) == 96
+
+
+def test_head_tail_with_dynamic():
+    # 1 static word + one 2-element array: head = 2 words, tail = 3 words.
+    assert abi_head_tail_size(1, [2]) == (2 + 3) * 32
+
+
+def test_abi_size_larger_than_packed():
+    """The ABI encoding is strictly larger than packed encoding — the
+    reason Table IV's mainchain entries dwarf the sidechain ones."""
+    packed = 97  # sidechain payout entry
+    abi = abi_head_tail_size(11, [])  # 352 B = 11 words
+    assert abi == 352 > packed

@@ -1,0 +1,86 @@
+"""Tests for the ERC20 contract."""
+
+import pytest
+
+from repro.errors import InsufficientBalanceError, RevertError
+from repro.mainchain.chain import Mainchain
+from repro.mainchain.contracts.base import CallContext
+from repro.mainchain.contracts.erc20 import ERC20Token
+from repro.mainchain.gas import GasMeter
+
+
+@pytest.fixture
+def token():
+    return ERC20Token("erc20:TST", "TST")
+
+
+def ctx(sender: str) -> CallContext:
+    return CallContext(
+        sender=sender, gas=GasMeter(), block_number=0, timestamp=0.0, chain=Mainchain()
+    )
+
+
+def test_mint_supply_credits_balance(token):
+    token.mint_supply(ctx("faucet"), "alice", 100)
+    assert token.balance_of("alice") == 100
+    assert token.total_supply == 100
+
+
+def test_transfer_moves_balance(token):
+    token.mint_supply(ctx("faucet"), "alice", 100)
+    token.transfer(ctx("alice"), "bob", 40)
+    assert token.balance_of("alice") == 60
+    assert token.balance_of("bob") == 40
+
+
+def test_transfer_insufficient_balance(token):
+    token.mint_supply(ctx("faucet"), "alice", 10)
+    with pytest.raises(InsufficientBalanceError):
+        token.transfer(ctx("alice"), "bob", 11)
+
+
+def test_transfer_rejects_nonpositive(token):
+    token.mint_supply(ctx("faucet"), "alice", 10)
+    with pytest.raises(RevertError):
+        token.transfer(ctx("alice"), "bob", 0)
+
+
+def test_approve_and_transfer_from(token):
+    token.mint_supply(ctx("faucet"), "alice", 100)
+    token.approve(ctx("alice"), "spender", 50)
+    token.transfer_from(ctx("spender"), "alice", "bob", 30)
+    assert token.balance_of("bob") == 30
+    assert token.allowance("alice", "spender") == 20
+
+
+def test_transfer_from_exceeding_allowance(token):
+    token.mint_supply(ctx("faucet"), "alice", 100)
+    token.approve(ctx("alice"), "spender", 10)
+    with pytest.raises(InsufficientBalanceError):
+        token.transfer_from(ctx("spender"), "alice", "bob", 11)
+
+
+def test_transfer_from_without_allowance(token):
+    token.mint_supply(ctx("faucet"), "alice", 100)
+    with pytest.raises(InsufficientBalanceError):
+        token.transfer_from(ctx("spender"), "alice", "bob", 1)
+
+
+def test_negative_approval_rejected(token):
+    with pytest.raises(RevertError):
+        token.approve(ctx("alice"), "spender", -1)
+
+
+def test_total_supply_conserved_by_transfers(token):
+    token.mint_supply(ctx("faucet"), "alice", 1000)
+    token.transfer(ctx("alice"), "bob", 300)
+    token.transfer(ctx("bob"), "carol", 100)
+    total = sum(token.balances.values())
+    assert total == token.total_supply == 1000
+
+
+def test_gas_charged_for_operations(token):
+    context = ctx("alice")
+    token.mint_supply(context, "alice", 100)
+    token.approve(context, "spender", 10)
+    assert context.gas.used > 0

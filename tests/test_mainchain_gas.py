@@ -1,0 +1,91 @@
+"""Tests for gas metering."""
+
+import pytest
+
+from repro import constants
+from repro.errors import OutOfGasError
+from repro.mainchain.gas import GasMeter, calldata_gas, keccak_gas, sstore_gas, words
+
+
+def test_words_rounds_up():
+    assert words(0) == 0
+    assert words(1) == 1
+    assert words(32) == 1
+    assert words(33) == 2
+    assert words(192) == 6
+
+
+def test_words_rejects_negative():
+    with pytest.raises(ValueError):
+        words(-1)
+
+
+def test_sstore_gas_per_word():
+    assert sstore_gas(32) == 22_100
+    assert sstore_gas(192) == 6 * 22_100
+
+
+def test_keccak_gas_formula():
+    assert keccak_gas(0) == 30
+    assert keccak_gas(32) == 36
+    assert keccak_gas(256) == 30 + 6 * 8
+
+
+def test_calldata_gas():
+    assert calldata_gas(10) == 160
+
+
+def test_meter_accumulates():
+    meter = GasMeter(limit=100_000)
+    meter.charge(1_000, "a")
+    meter.charge(2_000, "b")
+    assert meter.used == 3_000
+    assert meter.remaining == 97_000
+
+
+def test_meter_itemizes_by_label():
+    meter = GasMeter(limit=100_000)
+    meter.charge(1_000, "payout")
+    meter.charge(500, "payout")
+    meter.charge(200, "auth")
+    assert meter.by_label == {"payout": 1_500, "auth": 200}
+
+
+def test_meter_out_of_gas():
+    meter = GasMeter(limit=1_000)
+    with pytest.raises(OutOfGasError):
+        meter.charge(1_001)
+
+
+def test_meter_rounds_float_charges():
+    meter = GasMeter(limit=10**9)
+    meter.charge(constants.GAS_UNISWAP_SWAP, "swap")
+    assert meter.used == round(constants.GAS_UNISWAP_SWAP)
+
+
+def test_meter_rejects_negative_charge():
+    with pytest.raises(ValueError):
+        GasMeter().charge(-1)
+
+
+def test_meter_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        GasMeter(limit=0)
+
+
+def test_pairing_check_charge_matches_paper():
+    meter = GasMeter()
+    meter.charge_pairing_check()
+    assert meter.used == 113_000
+
+
+def test_ecmul_charge():
+    meter = GasMeter()
+    meter.charge_ecmul()
+    assert meter.used == 6_000
+
+
+def test_charge_helpers_label_storage():
+    meter = GasMeter()
+    meter.charge_sstore(64, "pool")
+    assert meter.by_label["pool"] == 2 * 22_100

@@ -1,0 +1,74 @@
+"""Tests for metric collectors and report formatting."""
+
+import pytest
+
+from repro.metrics.collector import LatencyStats, MetricsCollector
+from repro.metrics.report import format_table
+
+
+def test_latency_stats_streaming():
+    stats = LatencyStats()
+    for value in (1.0, 2.0, 6.0):
+        stats.record(value)
+    assert stats.count == 3
+    assert stats.mean == 3.0
+    assert stats.minimum == 1.0
+    assert stats.maximum == 6.0
+
+
+def test_latency_stats_empty_mean_zero():
+    assert LatencyStats().mean == 0.0
+
+
+def test_latency_stats_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyStats().record(-0.1)
+
+
+def test_latency_stats_merge():
+    a, b = LatencyStats(), LatencyStats()
+    a.record(1.0)
+    b.record(3.0)
+    a.merge(b)
+    assert a.count == 2
+    assert a.mean == 2.0
+    assert a.maximum == 3.0
+
+
+def test_collector_throughput():
+    metrics = MetricsCollector()
+    metrics.processed_txs = 100
+    metrics.elapsed_seconds = 50.0
+    assert metrics.throughput == 2.0
+
+
+def test_collector_throughput_zero_time():
+    assert MetricsCollector().throughput == 0.0
+
+
+def test_collector_gas_accumulation():
+    metrics = MetricsCollector()
+    metrics.record_gas({"payout": 100, "auth": 50})
+    metrics.record_gas({"payout": 25})
+    assert metrics.gas_by_label == {"payout": 125, "auth": 50}
+    assert metrics.total_gas == 175
+
+
+def test_collector_summary_keys():
+    summary = MetricsCollector().summary()
+    for key in ("throughput_tps", "avg_sc_latency_s", "total_gas", "num_syncs"):
+        assert key in summary
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["col", "value"], [["a", 1], ["longer", 2.5]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "longer" in text
+    assert "2.50" in text  # floats rendered with 2 decimals
+    assert "1" in text
+
+
+def test_format_table_thousands_separator():
+    text = format_table("T", ["n"], [[1_234_567]])
+    assert "1,234,567" in text

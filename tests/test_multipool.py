@@ -1,0 +1,121 @@
+"""Tests for the multi-pool executor (PoolSets generalisation)."""
+
+import pytest
+
+from repro.core.transactions import BurnTx, CollectTx, MintTx, SwapTx
+from repro.errors import AMMError
+from repro.multipool import MultiPoolExecutor, PoolKey
+
+AB = PoolKey("TKA", "TKB")
+BC = PoolKey("TKB", "TKC")
+
+
+@pytest.fixture
+def executor():
+    ex = MultiPoolExecutor()
+    ex.create_pool(AB)
+    ex.create_pool(BC)
+    for token in ("TKA", "TKB", "TKC"):
+        ex.credit_deposit("lp", token, 10**21)
+        ex.credit_deposit("trader", token, 10**21)
+    # Liquidity in both pools.
+    for key in (AB, BC):
+        mint = MintTx(user="lp", tick_lower=-6000, tick_upper=6000,
+                      amount0_desired=10**19, amount1_desired=10**19)
+        assert ex.process(key.pool_id, mint), mint.reject_reason
+    return ex
+
+
+def test_create_duplicate_pool_rejected(executor):
+    with pytest.raises(AMMError):
+        executor.create_pool(AB)
+
+
+def test_swaps_route_to_correct_pool(executor):
+    ab_before = executor.pools[AB.pool_id].snapshot()
+    bc_before = executor.pools[BC.pool_id].snapshot()
+    tx = SwapTx(user="trader", zero_for_one=True, amount=10**16)
+    assert executor.process(AB.pool_id, tx)
+    assert executor.pools[AB.pool_id].snapshot() != ab_before
+    assert executor.pools[BC.pool_id].snapshot() == bc_before
+
+
+def test_unknown_pool_rejected(executor):
+    tx = SwapTx(user="trader", zero_for_one=True, amount=10**16)
+    assert not executor.process("TKX/TKY/3000", tx)
+    assert "no pool" in tx.reject_reason
+
+
+def test_shared_token_balance_across_pools(executor):
+    """Token B earned on (A,B) is spendable on (B,C) in the same epoch."""
+    executor.deposits["trader"] = {"TKA": 10**18, "TKB": 0, "TKC": 0}
+    earn = SwapTx(user="trader", zero_for_one=True, amount=10**18)
+    assert executor.process(AB.pool_id, earn)  # pays A, receives B
+    earned_b = executor.balance_of("trader", "TKB")
+    assert earned_b > 0
+    spend = SwapTx(user="trader", zero_for_one=True, amount=earned_b)
+    assert executor.process(BC.pool_id, spend), spend.reject_reason
+    assert executor.balance_of("trader", "TKC") > 0
+
+
+def test_deposit_coverage_enforced_per_token(executor):
+    executor.deposits["poor"] = {"TKA": 10**10, "TKB": 0, "TKC": 0}
+    tx = SwapTx(user="poor", zero_for_one=True, amount=10**16)
+    assert not executor.process(AB.pool_id, tx)
+    assert "deposit" in tx.reject_reason
+
+
+def test_burn_routed_by_position_registry(executor):
+    mint = MintTx(user="lp", tick_lower=-600, tick_upper=600,
+                  amount0_desired=10**18, amount1_desired=10**18)
+    assert executor.process(BC.pool_id, mint)
+    position_id = mint.effects["position_id"]
+    # Burning against the wrong pool is rejected with a routing error.
+    wrong = BurnTx(user="lp", position_id=position_id)
+    assert not executor.process(AB.pool_id, wrong)
+    assert "belongs to pool" in wrong.reject_reason
+    right = BurnTx(user="lp", position_id=position_id)
+    assert executor.process(BC.pool_id, right)
+    assert position_id not in executor.position_pool
+
+
+def test_collect_fees_per_pool(executor):
+    mint_tx = next(
+        pid for pid, pool in executor.position_pool.items() if pool == AB.pool_id
+    )
+    executor.process(AB.pool_id, SwapTx(user="trader", zero_for_one=True, amount=10**17))
+    collect = CollectTx(user="lp", position_id=mint_tx)
+    assert executor.process(AB.pool_id, collect)
+    assert collect.effects["amount0"] > 0
+
+
+def test_conservation_per_token_across_pools(executor):
+    initial = {t: executor.total_token_supply(t) for t in ("TKA", "TKB", "TKC")}
+    for i in range(10):
+        pool = AB if i % 2 == 0 else BC
+        executor.process(
+            pool.pool_id,
+            SwapTx(user="trader", zero_for_one=i % 3 == 0, amount=10**15),
+        )
+    for token, total in initial.items():
+        assert executor.total_token_supply(token) == total, token
+
+
+def test_summary_aggregates_all_pools(executor):
+    executor.process(AB.pool_id, SwapTx(user="trader", zero_for_one=True, amount=10**16))
+    summary = executor.summarize(epoch=3)
+    assert summary.epoch == 3
+    assert len(summary.pools) == 2
+    pool_ids = {p.pool_id for p in summary.pools}
+    assert pool_ids == {AB.pool_id, BC.pool_id}
+    # Payouts are per user x token: 2 users x 3 tokens.
+    assert len(summary.payouts) == 6
+    assert len(summary.positions) == 2  # the two LP positions
+    assert summary.mainchain_size_bytes > 0
+
+
+def test_summary_payouts_match_balances(executor):
+    executor.process(AB.pool_id, SwapTx(user="trader", zero_for_one=True, amount=10**16))
+    summary = executor.summarize(epoch=0)
+    for entry in summary.payouts:
+        assert entry.balance == executor.balance_of(entry.user, entry.token)

@@ -1,0 +1,64 @@
+"""Tests for meta and summary blocks."""
+
+from repro.core.transactions import SwapTx
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+
+
+def _tx(user="u1", size=1000):
+    tx = SwapTx(user=user)
+    tx.size_bytes = size
+    return tx
+
+
+def test_meta_block_size_includes_header_and_txs():
+    block = MetaBlock(epoch=0, round_index=0, transactions=[_tx(size=100), _tx(size=200)])
+    assert block.size_bytes == 200 + 300  # header 200 + txs
+
+
+def test_meta_block_seal_commits_to_txs():
+    a = MetaBlock(epoch=0, round_index=0, transactions=[_tx()])
+    b = MetaBlock(epoch=0, round_index=0, transactions=[_tx(), _tx()])
+    a.seal()
+    b.seal()
+    assert a.tx_root != b.tx_root
+
+
+def test_empty_meta_block_seals():
+    block = MetaBlock(epoch=0, round_index=0)
+    block.seal()
+    assert block.tx_root != b""
+
+
+def test_meta_block_hash_depends_on_position():
+    a = MetaBlock(epoch=0, round_index=0)
+    b = MetaBlock(epoch=0, round_index=1)
+    a.seal()
+    b.seal()
+    assert a.block_hash != b.block_hash
+
+
+def test_summary_block_from_meta_blocks():
+    metas = [MetaBlock(epoch=2, round_index=i) for i in range(3)]
+    for m in metas:
+        m.seal()
+    block = SummaryBlock.from_meta_blocks(
+        epoch=2,
+        meta_blocks=metas,
+        payouts=["p1", "p2"],
+        positions=["pos1"],
+        pool_state={},
+        timestamp=100.0,
+        payout_entry_size=97,
+        position_entry_size=215,
+    )
+    assert block.epoch == 2
+    assert len(block.meta_block_hashes) == 3
+    assert block.size_bytes == 300 + 2 * 97 + 215
+
+
+def test_summary_block_hash_commits_to_meta_blocks():
+    meta = MetaBlock(epoch=0, round_index=0)
+    meta.seal()
+    a = SummaryBlock(epoch=0, meta_block_hashes=(meta.block_hash,))
+    b = SummaryBlock(epoch=0, meta_block_hashes=())
+    assert a.block_hash != b.block_hash

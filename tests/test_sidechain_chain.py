@@ -1,0 +1,100 @@
+"""Tests for the sidechain ledger and pruning rules."""
+
+import pytest
+
+from repro.errors import PruningError
+from repro.sidechain.blocks import MetaBlock, SummaryBlock
+from repro.sidechain.chain import SidechainLedger
+
+
+def _meta(epoch, round_index=0):
+    block = MetaBlock(epoch=epoch, round_index=round_index)
+    block.seal()
+    return block
+
+
+def _summary(epoch):
+    return SummaryBlock(epoch=epoch, size_bytes=500)
+
+
+@pytest.fixture
+def ledger():
+    return SidechainLedger()
+
+
+def test_append_tracks_growth(ledger):
+    ledger.append_meta_block(_meta(0))
+    ledger.append_summary_block(_summary(0))
+    assert ledger.growth.num_meta_blocks == 1
+    assert ledger.growth.num_summary_blocks == 1
+    assert ledger.current_bytes > 0
+
+
+def test_prune_requires_confirmed_sync(ledger):
+    ledger.append_meta_block(_meta(0))
+    ledger.append_summary_block(_summary(0))
+    with pytest.raises(PruningError):
+        ledger.prune_epoch(0)
+
+
+def test_mark_synced_requires_summary(ledger):
+    ledger.append_meta_block(_meta(0))
+    with pytest.raises(PruningError):
+        ledger.mark_synced(0)
+
+
+def test_prune_after_sync_reclaims_meta_bytes(ledger):
+    for r in range(3):
+        ledger.append_meta_block(_meta(0, r))
+    ledger.append_summary_block(_summary(0))
+    before = ledger.current_bytes
+    ledger.mark_synced(0)
+    reclaimed = ledger.prune_epoch(0)
+    assert reclaimed == 3 * 200  # three empty meta blocks (header only)
+    assert ledger.current_bytes == before - reclaimed
+
+
+def test_summary_blocks_are_permanent(ledger):
+    ledger.append_meta_block(_meta(0))
+    ledger.append_summary_block(_summary(0))
+    ledger.mark_synced(0)
+    ledger.prune_epoch(0)
+    assert 0 in ledger.summary_blocks
+    assert ledger.live_meta_blocks(0) == []
+
+
+def test_cannot_append_to_pruned_epoch(ledger):
+    ledger.append_meta_block(_meta(0))
+    ledger.append_summary_block(_summary(0))
+    ledger.mark_synced(0)
+    ledger.prune_epoch(0)
+    with pytest.raises(PruningError):
+        ledger.append_meta_block(_meta(0, 1))
+
+
+def test_duplicate_summary_rejected(ledger):
+    ledger.append_summary_block(_summary(0))
+    with pytest.raises(PruningError):
+        ledger.append_summary_block(_summary(0))
+
+
+def test_prune_all_synced(ledger):
+    for epoch in range(3):
+        ledger.append_meta_block(_meta(epoch))
+        ledger.append_summary_block(_summary(epoch))
+    ledger.mark_synced(0)
+    ledger.mark_synced(1)
+    reclaimed = ledger.prune_all_synced()
+    assert reclaimed == 2 * 200
+    assert ledger.live_meta_blocks(2)  # epoch 2 not synced: kept
+
+
+def test_peak_tracking(ledger):
+    for r in range(5):
+        ledger.append_meta_block(_meta(0, r))
+    peak_before_prune = ledger.max_live_bytes
+    ledger.append_summary_block(_summary(0))
+    ledger.mark_synced(0)
+    ledger.prune_epoch(0)
+    assert ledger.max_live_bytes >= peak_before_prune
+    assert ledger.current_bytes < ledger.max_live_bytes

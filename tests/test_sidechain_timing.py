@@ -1,0 +1,51 @@
+"""Tests for the agreement-time model (Table XII calibration)."""
+
+import pytest
+
+from repro import constants
+from repro.sidechain.timing import AgreementTimeModel
+
+
+@pytest.fixture
+def model():
+    return AgreementTimeModel()
+
+
+def test_fit_close_to_calibration_points(model):
+    for size, measured in constants.AGREEMENT_TIME_BY_COMMITTEE.items():
+        predicted = model.agreement_time(size)
+        assert abs(predicted - measured) / measured < 0.25, (size, predicted)
+
+
+def test_monotonically_increasing(model):
+    previous = 0.0
+    for size in (50, 100, 200, 400, 800, 1600):
+        t = model.agreement_time(size)
+        assert t > previous
+        previous = t
+
+
+def test_superlinear_growth(model):
+    """Doubling the committee should more than double agreement time."""
+    assert model.agreement_time(1000) > 2 * model.agreement_time(500)
+
+
+def test_min_round_duration_exceeds_agreement(model):
+    for size in (100, 500, 1000):
+        assert model.min_round_duration(size) > model.agreement_time(size)
+
+
+def test_thousand_node_round_of_23s(model):
+    """The paper: 'with Sc = 1000 a round should last at least ~23 s'."""
+    assert 20 <= model.min_round_duration(1000) <= 26
+
+
+def test_nonpositive_size_rejected(model):
+    with pytest.raises(ValueError):
+        model.agreement_time(0)
+
+
+def test_custom_calibration():
+    model = AgreementTimeModel({10: 1.0, 20: 4.0, 40: 16.0})
+    # Pure quadratic data: the fit should be nearly exact.
+    assert abs(model.agreement_time(40) - 16.0) < 0.5

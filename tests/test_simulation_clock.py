@@ -1,0 +1,52 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.simulation.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimClock(3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_backwards_rejected():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.0)
+
+
+def test_advance_by_accumulates():
+    clock = SimClock()
+    clock.advance_by(2.5)
+    clock.advance_by(2.5)
+    assert clock.now == 5.0
+
+
+def test_advance_by_negative_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance_by(-0.1)
+
+
+def test_repr_contains_time():
+    assert "1.500" in repr(SimClock(1.5))

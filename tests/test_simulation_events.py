@@ -1,0 +1,122 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simulation.events import EventScheduler
+
+
+def test_events_run_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(2.0, lambda: order.append("b"))
+    sched.schedule_at(1.0, lambda: order.append("a"))
+    sched.schedule_at(3.0, lambda: order.append("c"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    sched = EventScheduler()
+    order = []
+    for name in ("first", "second", "third"):
+        sched.schedule_at(1.0, lambda n=name: order.append(n))
+    sched.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sched = EventScheduler()
+    sched.schedule_at(4.2, lambda: None)
+    sched.run()
+    assert sched.clock.now == 4.2
+
+
+def test_schedule_after_uses_relative_delay():
+    sched = EventScheduler()
+    sched.clock.advance_to(10.0)
+    event = sched.schedule_after(5.0, lambda: None)
+    assert event.time == 15.0
+
+
+def test_scheduling_in_the_past_rejected():
+    sched = EventScheduler()
+    sched.clock.advance_to(10.0)
+    with pytest.raises(ValueError):
+        sched.schedule_at(9.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sched = EventScheduler()
+    ran = []
+    event = sched.schedule_at(1.0, lambda: ran.append(1))
+    event.cancel()
+    sched.run()
+    assert ran == []
+
+
+def test_run_until_stops_at_boundary():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(1.0, lambda: order.append(1))
+    sched.schedule_at(2.0, lambda: order.append(2))
+    sched.run_until(1.5)
+    assert order == [1]
+    assert sched.clock.now == 1.5
+
+
+def test_run_until_includes_events_at_boundary():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(2.0, lambda: order.append(2))
+    sched.run_until(2.0)
+    assert order == [2]
+
+
+def test_events_can_schedule_more_events():
+    sched = EventScheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.schedule_after(1.0, lambda: order.append("second"))
+
+    sched.schedule_at(1.0, first)
+    sched.run()
+    assert order == ["first", "second"]
+    assert sched.clock.now == 2.0
+
+
+def test_step_returns_false_on_empty_queue():
+    assert EventScheduler().step() is False
+
+
+def test_pending_count_excludes_cancelled():
+    sched = EventScheduler()
+    sched.schedule_at(1.0, lambda: None)
+    event = sched.schedule_at(2.0, lambda: None)
+    event.cancel()
+    assert sched.pending == 1
+
+
+def test_processed_counter():
+    sched = EventScheduler()
+    sched.schedule_at(1.0, lambda: None)
+    sched.schedule_at(2.0, lambda: None)
+    sched.run()
+    assert sched.processed == 2
+
+
+def test_run_respects_max_events():
+    sched = EventScheduler()
+
+    def reschedule():
+        sched.schedule_after(1.0, reschedule)
+
+    sched.schedule_at(0.5, reschedule)
+    executed = sched.run(max_events=10)
+    assert executed == 10

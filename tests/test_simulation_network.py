@@ -1,0 +1,106 @@
+"""Tests for the bounded-delay network."""
+
+import pytest
+
+from repro.simulation.network import Network, NetworkConfig
+
+
+def test_message_delivered_to_handler(network, scheduler):
+    received = []
+    network.register("alice", received.append)
+    network.send("bob", "alice", "ping", {"x": 1})
+    scheduler.run()
+    assert len(received) == 1
+    assert received[0].payload == {"x": 1}
+    assert received[0].sender == "bob"
+
+
+def test_delivery_within_delta_bound(network, scheduler):
+    received = []
+    network.register("alice", received.append)
+    network.send("bob", "alice", "ping", None)
+    scheduler.run()
+    msg = received[0]
+    assert 0 < msg.delivered_at - msg.sent_at <= network.config.delta_bound
+
+
+def test_unknown_recipient_dropped(network, scheduler):
+    network.send("bob", "nobody", "ping", None)
+    scheduler.run()
+    assert network.dropped_count == 1
+    assert network.delivered_count == 0
+
+
+def test_partitioned_endpoint_drops_messages(network, scheduler):
+    received = []
+    network.register("alice", received.append)
+    network.partition("alice")
+    network.send("bob", "alice", "ping", None)
+    scheduler.run()
+    assert received == []
+    assert network.dropped_count == 1
+
+
+def test_healed_endpoint_receives_again(network, scheduler):
+    received = []
+    network.register("alice", received.append)
+    network.partition("alice")
+    network.heal("alice")
+    network.send("bob", "alice", "ping", None)
+    scheduler.run()
+    assert len(received) == 1
+
+
+def test_broadcast_excludes_sender(network, scheduler):
+    received = {"a": [], "b": [], "c": []}
+    for name in received:
+        network.register(name, received[name].append)
+    network.broadcast("a", ["a", "b", "c"], "gossip", 42)
+    scheduler.run()
+    assert received["a"] == []
+    assert len(received["b"]) == 1
+    assert len(received["c"]) == 1
+
+
+def test_adversary_delay_clamped_to_delta(network, scheduler):
+    received = []
+    network.register("alice", received.append)
+    network.set_adversary_delay(lambda msg: 100.0)
+    network.send("bob", "alice", "ping", None)
+    scheduler.run()
+    msg = received[0]
+    assert msg.delivered_at - msg.sent_at <= network.config.delta_bound
+
+
+def test_adversary_can_be_cleared(network, scheduler):
+    network.set_adversary_delay(lambda msg: 100.0)
+    network.set_adversary_delay(None)
+    received = []
+    network.register("alice", received.append)
+    network.send("bob", "alice", "ping", None)
+    scheduler.run()
+    base = network.config.base_delay + network.config.jitter
+    assert received[0].delivered_at <= base + 1e-9
+
+
+def test_bytes_accounting(network, scheduler):
+    network.register("alice", lambda m: None)
+    network.send("bob", "alice", "ping", None, size_bytes=100)
+    network.send("bob", "alice", "ping", None, size_bytes=50)
+    assert network.bytes_sent == 150
+
+
+def test_duplicate_registration_rejected(network):
+    network.register("alice", lambda m: None)
+    with pytest.raises(ValueError):
+        network.register("alice", lambda m: None)
+
+
+def test_config_validates_delay_budget():
+    with pytest.raises(ValueError):
+        NetworkConfig(base_delay=0.9, jitter=0.5, delta_bound=1.0)
+
+
+def test_config_rejects_negative_delays():
+    with pytest.raises(ValueError):
+        NetworkConfig(base_delay=-0.1)

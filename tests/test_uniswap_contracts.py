@@ -1,0 +1,112 @@
+"""Direct tests for the baseline Uniswap periphery contracts."""
+
+import pytest
+
+from repro import constants
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.errors import RevertError
+from repro.mainchain.chain import Mainchain
+from repro.mainchain.contracts.base import CallContext
+from repro.mainchain.gas import GasMeter
+from repro.uniswap.contracts import PoolFactory, PositionManager, SwapRouterContract
+
+
+def ctx(sender="alice"):
+    return CallContext(
+        sender=sender, gas=GasMeter(), block_number=0, timestamp=0.0,
+        chain=Mainchain(),
+    )
+
+
+@pytest.fixture
+def deployed():
+    factory = PoolFactory()
+    pool = factory.create_pool(ctx("deployer"), "TKA", "TKB")
+    pool.initialize(encode_price_sqrt(1, 1))
+    router = SwapRouterContract(pool)
+    nfpm = PositionManager(pool)
+    nfpm.mint(ctx("bootstrap"), -60000, 60000, 10**21, 10**21)
+    return factory, pool, router, nfpm
+
+
+def test_factory_creates_and_finds_pool(deployed):
+    factory, pool, *_ = deployed
+    assert factory.get_pool("TKA", "TKB") is pool
+
+
+def test_factory_rejects_duplicate(deployed):
+    factory, *_ = deployed
+    with pytest.raises(RevertError):
+        factory.create_pool(ctx(), "TKA", "TKB")
+
+
+def test_factory_unknown_pool(deployed):
+    factory, *_ = deployed
+    with pytest.raises(RevertError):
+        factory.get_pool("TKX", "TKY")
+
+
+def test_router_exact_input_charges_paper_gas(deployed):
+    _, _, router, _ = deployed
+    context = ctx("trader")
+    quote = router.exact_input(context, True, 10**16)
+    assert quote.amount_out > 0
+    assert context.gas.by_label["swap"] == round(constants.GAS_UNISWAP_SWAP)
+
+
+def test_router_exact_output(deployed):
+    _, _, router, _ = deployed
+    quote = router.exact_output(ctx("trader"), False, 10**16)
+    assert quote.amount_out == 10**16
+
+
+def test_router_lens_quote_free(deployed):
+    _, pool, router, _ = deployed
+    before = pool.snapshot()
+    quote = router.quote(True, 10**16)
+    assert quote.amount0 > 0
+    assert pool.snapshot() == before
+
+
+def test_nfpm_mint_assigns_token_ids(deployed):
+    *_, nfpm = deployed
+    token_id, a0, a1 = nfpm.mint(ctx("lp"), -600, 600, 10**18, 10**18)
+    assert a0 > 0 and a1 > 0
+    assert nfpm.positions[token_id].owner == ctx("lp").sender
+
+
+def test_nfpm_burn_requires_ownership(deployed):
+    *_, nfpm = deployed
+    token_id, *_amounts = nfpm.mint(ctx("lp"), -600, 600, 10**18, 10**18)
+    with pytest.raises(RevertError):
+        nfpm.burn(ctx("thief"), token_id)
+
+
+def test_nfpm_full_burn_deletes_nft(deployed):
+    *_, nfpm = deployed
+    token_id, *_amounts = nfpm.mint(ctx("lp"), -600, 600, 10**18, 10**18)
+    burned0, burned1 = nfpm.burn(ctx("lp"), token_id)
+    assert burned0 > 0 and burned1 > 0
+    assert token_id not in nfpm.positions
+
+
+def test_nfpm_partial_burn_keeps_nft(deployed):
+    *_, nfpm = deployed
+    token_id, *_amounts = nfpm.mint(ctx("lp"), -600, 600, 10**18, 10**18)
+    liquidity = nfpm.positions[token_id].liquidity
+    nfpm.burn(ctx("lp"), token_id, liquidity // 2)
+    assert token_id in nfpm.positions
+
+
+def test_nfpm_collect_after_swaps(deployed):
+    _, _, router, nfpm = deployed
+    token_id, *_amounts = nfpm.mint(ctx("lp"), -6000, 6000, 10**19, 10**19)
+    router.exact_input(ctx("trader"), True, 10**17)
+    got0, got1 = nfpm.collect(ctx("lp"), token_id)
+    assert got0 > 0
+
+
+def test_nfpm_dust_mint_rejected(deployed):
+    *_, nfpm = deployed
+    with pytest.raises(RevertError):
+        nfpm.mint(ctx("lp"), -600, 600, 0, 0)
