@@ -3,12 +3,23 @@
 These measure the Python engine's real wall-clock throughput — the
 quantity that bounds how large an experiment the epoch-level harness can
 simulate, and a useful regression canary for the core math.
+
+Each scenario is defined ONCE as a ``make_*_op`` factory returning a
+zero-argument callable; the pytest-benchmark tests below and the
+persistent harness (``run_benchmarks.py``, which writes ``BENCH_amm.json``)
+both consume the same factories, so the two suites cannot drift apart.
+Factories set ``op.scale`` when one call performs several logical
+operations (conversions, transactions).
 """
 
 from repro.amm.fixed_point import encode_price_sqrt
 from repro.amm.pool import Pool, PoolConfig
 from repro.amm.quoter import quote_swap
 from repro.amm import tick_math
+from repro.core.executor import SidechainExecutor
+from repro.core.transactions import SwapTx
+
+EXECUTOR_ROUND_TXS = 64
 
 
 def build_pool(num_positions=50):
@@ -20,53 +31,142 @@ def build_pool(num_positions=50):
     return pool
 
 
-def test_bench_swap_in_range(benchmark):
+# -- scenario factories --------------------------------------------------------
+
+
+def make_swap_op(amount):
+    """Alternating-direction swaps; small amounts stay in range, large
+    amounts cross many initialized ticks."""
     pool = build_pool()
     state = {"direction": True}
 
-    def one_swap():
+    def op():
         state["direction"] = not state["direction"]
-        return pool.swap(state["direction"], 10**14)
+        return pool.swap(state["direction"], amount)
 
-    result = benchmark(one_swap)
-    assert result.amount0 != 0 or result.amount1 != 0
+    return op
 
 
-def test_bench_swap_crossing_ticks(benchmark):
+def make_swap_in_range_op():
+    return make_swap_op(10**14)
+
+
+def make_swap_crossing_ticks_op():
+    return make_swap_op(5 * 10**17)
+
+
+def make_quote_op():
     pool = build_pool()
-    state = {"direction": True}
 
-    def crossing_swap():
-        state["direction"] = not state["direction"]
-        return pool.swap(state["direction"], 5 * 10**17)
+    def op():
+        return quote_swap(pool, True, 10**15)
 
-    result = benchmark(crossing_swap)
-    assert result.fee_paid > 0
+    return op
 
 
-def test_bench_quote(benchmark):
-    pool = build_pool()
-    quote = benchmark(quote_swap, pool, True, 10**15)
-    assert quote.amount0 > 0
-
-
-def test_bench_mint_burn_cycle(benchmark):
+def make_mint_burn_cycle_op():
     pool = build_pool(num_positions=5)
 
-    def cycle():
+    def op():
         pool.mint("cycler", -600, 600, 10**15)
         pool.burn("cycler", -600, 600, 10**15)
         pool.collect("cycler", -600, 600, 10**30, 10**30)
 
-    benchmark(cycle)
+    return op
 
 
-def test_bench_tick_math_roundtrip(benchmark):
-    def roundtrip():
+def make_tick_math_roundtrip_op():
+    ticks = list(range(-5000, 5000, 500))
+
+    def op():
         total = 0
-        for tick in range(-5000, 5000, 500):
+        for tick in ticks:
             ratio = tick_math.get_sqrt_ratio_at_tick(tick)
             total += tick_math.get_tick_at_sqrt_ratio(ratio)
         return total
 
-    benchmark(roundtrip)
+    op.scale = len(ticks)
+    return op
+
+
+def make_sqrt_ratio_at_tick_op():
+    ticks = list(range(-887200, 887200, 7919))
+
+    def op():
+        total = 0
+        for tick in ticks:
+            total += tick_math.get_sqrt_ratio_at_tick(tick)
+        return total
+
+    op.scale = len(ticks)
+    return op
+
+
+def make_executor_round_op():
+    """End-to-end round processing: deposit-checked swaps via the executor.
+
+    Exercises the fused quote/execute path — each accepted transaction
+    must walk the ticks exactly once.
+    """
+    pool = build_pool()
+    executor = SidechainExecutor(pool)
+    executor.begin_epoch(
+        {f"user{i}": [10**24, 10**24] for i in range(EXECUTOR_ROUND_TXS)}
+    )
+    state = {"round": 0}
+
+    def op():
+        state["round"] += 1
+        txs = [
+            SwapTx(
+                user=f"user{i}",
+                zero_for_one=(i % 2 == 0),
+                exact_input=True,
+                amount=10**15 + i,
+                amount_limit=0,
+            )
+            for i in range(EXECUTOR_ROUND_TXS)
+        ]
+        accepted = executor.process_round(txs, current_round=state["round"])
+        if len(accepted) != EXECUTOR_ROUND_TXS:
+            rejected = [tx.reject_reason for tx in txs if tx.reject_reason]
+            raise RuntimeError(f"executor round rejected txs: {rejected[:3]}")
+        return accepted
+
+    op.scale = EXECUTOR_ROUND_TXS
+    return op
+
+
+# -- pytest-benchmark wrappers -------------------------------------------------
+
+
+def test_bench_swap_in_range(benchmark):
+    result = benchmark(make_swap_in_range_op())
+    assert result.amount0 != 0 or result.amount1 != 0
+
+
+def test_bench_swap_crossing_ticks(benchmark):
+    result = benchmark(make_swap_crossing_ticks_op())
+    assert result.fee_paid > 0
+
+
+def test_bench_quote(benchmark):
+    quote = benchmark(make_quote_op())
+    assert quote.amount0 > 0
+
+
+def test_bench_mint_burn_cycle(benchmark):
+    benchmark(make_mint_burn_cycle_op())
+
+
+def test_bench_executor_round(benchmark):
+    accepted = benchmark(make_executor_round_op())
+    assert len(accepted) == EXECUTOR_ROUND_TXS
+
+
+def test_bench_tick_math_roundtrip(benchmark):
+    benchmark(make_tick_math_roundtrip_op())
+
+
+def test_bench_sqrt_ratio_at_tick(benchmark):
+    benchmark(make_sqrt_ratio_at_tick_op())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Persistent AMM benchmark harness.
+
+Runs the ``bench_amm_engine.py`` scenarios (swap in range, tick-crossing
+swaps, quoting, mint/burn cycles, tick math) plus an end-to-end executor
+round benchmark, and writes ``BENCH_amm.json`` with ops/sec per scenario
+so successive PRs have a throughput trajectory to regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
+
+The JSON also records the seed-commit baseline (measured on the same
+scenario definitions before the fast-path work landed) and the speedup of
+the current tree against it.  Interpretation notes live in
+``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_REPO_ROOT = _HERE.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_HERE))
+
+import bench_amm_engine  # noqa: E402
+
+#: Ops/sec measured at the seed commit (pre-optimization engine) with this
+#: same runner.  Kept so every BENCH_amm.json carries its own before/after
+#: trajectory; refresh only when scenario definitions change.
+SEED_BASELINE_OPS_PER_SEC = {
+    "tick_math_roundtrip": 21_674.4,
+    "sqrt_ratio_at_tick": 458_374.0,
+    "swap_in_range": 22_135.5,
+    "swap_crossing_ticks": 16_030.3,
+    "quote": 23_906.2,
+    "mint_burn_cycle": 43_068.2,
+    "executor_round": 10_683.4,
+}
+
+# Scenario bodies are defined once in bench_amm_engine.py (shared with the
+# pytest-benchmark suite) so the two cannot drift apart.
+SCENARIOS = {
+    "tick_math_roundtrip": bench_amm_engine.make_tick_math_roundtrip_op,
+    "sqrt_ratio_at_tick": bench_amm_engine.make_sqrt_ratio_at_tick_op,
+    "swap_in_range": bench_amm_engine.make_swap_in_range_op,
+    "swap_crossing_ticks": bench_amm_engine.make_swap_crossing_ticks_op,
+    "quote": bench_amm_engine.make_quote_op,
+    "mint_burn_cycle": bench_amm_engine.make_mint_burn_cycle_op,
+    "executor_round": bench_amm_engine.make_executor_round_op,
+}
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _time_once(op, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        op()
+    return time.perf_counter() - start
+
+
+def measure(op, quick: bool) -> dict:
+    """Best-of-N repeats of a calibrated inner loop; returns ops/sec."""
+    scale = getattr(op, "scale", 1)
+    if quick:
+        iterations, repeats = 1, 1
+    else:
+        # Calibrate the inner loop to ~0.25s per repeat.
+        iterations = 1
+        while True:
+            elapsed = _time_once(op, iterations)
+            if elapsed >= 0.05 or iterations >= 1 << 16:
+                break
+            iterations *= 4
+        iterations = max(1, int(iterations * 0.25 / max(elapsed, 1e-9)))
+        repeats = 3
+    best = min(_time_once(op, iterations) for _ in range(repeats))
+    per_op = best / iterations
+    return {
+        "ops_per_sec": round(scale * iterations / best, 3),
+        "seconds_per_op": per_op / scale,
+        "iterations": iterations,
+        "repeats": repeats,
+    }
+
+
+def run(names: list[str], quick: bool) -> dict:
+    results = {}
+    for name in names:
+        factory = SCENARIOS[name]
+        op = factory()
+        results[name] = measure(op, quick)
+        print(
+            f"{name:24s} {results[name]['ops_per_sec']:>14,.0f} ops/s",
+            file=sys.stderr,
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run each benchmark once (CI smoke check, numbers are noisy)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_amm.json",
+        help="where to write the JSON report (default: repo root BENCH_amm.json)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only the named scenario(s); may repeat",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.scenario or list(SCENARIOS)
+    results = run(names, quick=args.quick)
+
+    speedups = {}
+    for name, result in results.items():
+        baseline = SEED_BASELINE_OPS_PER_SEC.get(name)
+        if baseline:
+            speedups[name] = round(result["ops_per_sec"] / baseline, 2)
+
+    report = {
+        "schema": 1,
+        "suite": "amm_engine",
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": results,
+        "seed_baseline_ops_per_sec": SEED_BASELINE_OPS_PER_SEC,
+        "speedup_vs_seed": speedups,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

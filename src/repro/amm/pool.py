@@ -47,7 +47,7 @@ class PoolConfig:
             self.tick_spacing = spacing
 
 
-@dataclass
+@dataclass(slots=True)
 class SwapResult:
     """Outcome of a swap, amounts signed from the pool's perspective.
 
@@ -60,6 +60,78 @@ class SwapResult:
     tick: int
     liquidity: int
     fee_paid: int
+
+
+@dataclass(slots=True)
+class PendingSwap:
+    """A fully-computed swap awaiting :meth:`commit` — one tick walk total.
+
+    ``prepare_swap`` walks the tick range without mutating the pool,
+    recording the post-walk state and the fee-growth flips of every tick
+    crossed.  Callers inspect the outcome (slippage limits, deposit
+    coverage) and either drop the object — a pure quote — or ``commit`` it,
+    which applies the recorded effects without walking again.  This is what
+    lets the executor validate-then-execute with a single pass instead of
+    quoting and re-simulating.
+    """
+
+    pool: "Pool"
+    zero_for_one: bool
+    amount0: int
+    amount1: int
+    sqrt_price_after_x96: int
+    tick_after: int
+    liquidity_after: int
+    fee_growth_global_x128: int
+    fee_paid: int
+    #: (tick, new_fee_growth_outside0, new_fee_growth_outside1) per crossing.
+    crossings: list[tuple[int, int, int]]
+    _pre_tick: int
+    _pre_state_version: int
+
+    def trader_amounts(self) -> tuple[int, int]:
+        """(amount_in, amount_out) from the trader's perspective."""
+        if self.zero_for_one:
+            return self.amount0, -self.amount1
+        return self.amount1, -self.amount0
+
+    def commit(self, timestamp: float | None = None) -> SwapResult:
+        """Apply the prepared swap to the pool (no second tick walk).
+
+        One-shot: the pool's state version must still match the one seen
+        at prepare time, so any intervening mutation — another swap, a
+        mint/burn/collect, a flash, or an earlier commit of this same
+        object — voids the pending swap.
+        """
+        pool = self.pool
+        if pool._state_version != self._pre_state_version:
+            raise AMMError("pool state changed since swap was prepared")
+        if timestamp is not None:
+            pool.oracle.write(timestamp, self._pre_tick)
+        pool._state_version += 1
+        ticks = pool.ticks.ticks
+        for tick, outside0, outside1 in self.crossings:
+            info = ticks.get(tick)
+            if info is not None:
+                info.fee_growth_outside0_x128 = outside0
+                info.fee_growth_outside1_x128 = outside1
+        pool.sqrt_price_x96 = self.sqrt_price_after_x96
+        pool.tick = self.tick_after
+        pool.liquidity = self.liquidity_after
+        if self.zero_for_one:
+            pool.fee_growth_global0_x128 = self.fee_growth_global_x128
+        else:
+            pool.fee_growth_global1_x128 = self.fee_growth_global_x128
+        pool.balance0 += self.amount0
+        pool.balance1 += self.amount1
+        return SwapResult(
+            amount0=self.amount0,
+            amount1=self.amount1,
+            sqrt_price_x96=self.sqrt_price_after_x96,
+            tick=self.tick_after,
+            liquidity=self.liquidity_after,
+            fee_paid=self.fee_paid,
+        )
 
 
 class Pool:
@@ -80,6 +152,8 @@ class Pool:
         self.initialized = False
         #: TWAP oracle; swaps that pass a timestamp checkpoint into it.
         self.oracle = Oracle(capacity=128)
+        #: Bumped on every state mutation; voids outstanding PendingSwaps.
+        self._state_version = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -92,6 +166,7 @@ class Pool:
         self.sqrt_price_x96 = sqrt_price_x96
         self.tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price_x96)
         self.initialized = True
+        self._state_version += 1
         self.oracle.initialize(timestamp=0.0)
 
     def _require_initialized(self) -> None:
@@ -150,6 +225,7 @@ class Pool:
         position.tokens_owed1 -= amount1
         self.balance0 -= amount0
         self.balance1 -= amount1
+        self._state_version += 1
         if (
             position.liquidity == 0
             and position.tokens_owed0 == 0
@@ -178,6 +254,7 @@ class Pool:
         self.ticks.check_spacing(tick_lower)
         self.ticks.check_spacing(tick_upper)
         position = self._update_position(owner, tick_lower, tick_upper, liquidity_delta)
+        self._state_version += 1
         amount0 = amount1 = 0
         if liquidity_delta != 0:
             if self.tick < tick_lower:
@@ -275,6 +352,23 @@ class Pool:
         given, the pre-swap tick is checkpointed into the TWAP oracle (the
         Uniswap write-before-move rule).
         """
+        return self.prepare_swap(
+            zero_for_one, amount_specified, sqrt_price_limit_x96
+        ).commit(timestamp)
+
+    def prepare_swap(
+        self,
+        zero_for_one: bool,
+        amount_specified: int,
+        sqrt_price_limit_x96: int | None = None,
+    ) -> PendingSwap:
+        """Compute a swap's full outcome without touching pool state.
+
+        The returned :class:`PendingSwap` carries the post-walk state and
+        the per-crossing fee flips; ``commit`` applies them in O(crossings)
+        without re-walking.  Quotes use the same walk, so a quote and its
+        subsequent execution agree to the wei by construction.
+        """
         self._require_initialized()
         if amount_specified == 0:
             raise AMMError("swap amount must be non-zero")
@@ -299,9 +393,6 @@ class Pool:
                     f"price limit {sqrt_price_limit_x96} invalid for one-for-zero"
                 )
 
-        if timestamp is not None:
-            self.oracle.write(timestamp, self.tick)
-
         exact_input = amount_specified > 0
         amount_remaining = amount_specified
         amount_calculated = 0
@@ -311,66 +402,91 @@ class Pool:
         fee_growth_global = (
             self.fee_growth_global0_x128 if zero_for_one else self.fee_growth_global1_x128
         )
+        fee_growth_other = (
+            self.fee_growth_global1_x128 if zero_for_one else self.fee_growth_global0_x128
+        )
         total_fee = 0
+        crossings: list[tuple[int, int, int]] = []
+
+        # Hot loop: bind everything to locals.  Ticks coming out of the
+        # table were range-checked on mint, so the unchecked cached ratio
+        # lookup is safe; the MIN/MAX fallbacks are in range by definition.
+        next_tick = self.ticks.next_initialized_tick
+        tick_records = self.ticks.ticks
+        sqrt_at = tick_math._sqrt_ratio_at_tick
+        tick_at = tick_math.get_tick_at_sqrt_ratio
+        step_values = swap_math.compute_swap_step_values
+        fee_pips = self.config.fee_pips
+        min_tick, max_tick = tick_math.MIN_TICK, tick_math.MAX_TICK
 
         while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
             step_start_price = sqrt_price
-            tick_next, initialized = self.ticks.next_initialized_tick(
-                tick, lte=zero_for_one
-            )
+            tick_next, initialized = next_tick(tick, lte=zero_for_one)
             if tick_next is None:
-                tick_next = tick_math.MIN_TICK if zero_for_one else tick_math.MAX_TICK
-                initialized = False
-            tick_next = max(tick_math.MIN_TICK, min(tick_math.MAX_TICK, tick_next))
-            sqrt_price_next = tick_math.get_sqrt_ratio_at_tick(tick_next)
+                tick_next = min_tick if zero_for_one else max_tick
+            elif tick_next < min_tick:
+                tick_next = min_tick
+            elif tick_next > max_tick:
+                tick_next = max_tick
+            sqrt_price_next = sqrt_at(tick_next)
 
             if zero_for_one:
-                target = max(sqrt_price_next, sqrt_price_limit_x96)
+                target = (
+                    sqrt_price_next
+                    if sqrt_price_next > sqrt_price_limit_x96
+                    else sqrt_price_limit_x96
+                )
             else:
-                target = min(sqrt_price_next, sqrt_price_limit_x96)
+                target = (
+                    sqrt_price_next
+                    if sqrt_price_next < sqrt_price_limit_x96
+                    else sqrt_price_limit_x96
+                )
 
             if liquidity == 0:
                 # No liquidity in range: the price jumps to the target
                 # without exchanging anything.
                 sqrt_price = target
             else:
-                step = swap_math.compute_swap_step(
-                    sqrt_price, target, liquidity, amount_remaining, self.config.fee_pips
+                sqrt_price, amount_in, amount_out, fee_amount = step_values(
+                    sqrt_price, target, liquidity, amount_remaining, fee_pips
                 )
-                sqrt_price = step.sqrt_price_next_x96
-                total_fee += step.fee_amount
+                total_fee += fee_amount
                 if exact_input:
-                    amount_remaining -= step.amount_in + step.fee_amount
-                    amount_calculated -= step.amount_out
+                    amount_remaining -= amount_in + fee_amount
+                    amount_calculated -= amount_out
                 else:
-                    amount_remaining += step.amount_out
-                    amount_calculated += step.amount_in + step.fee_amount
-                if liquidity > 0:
-                    fee_growth_global = (
-                        fee_growth_global + mul_div(step.fee_amount, Q128, liquidity)
-                    ) % Q128
+                    amount_remaining += amount_out
+                    amount_calculated += amount_in + fee_amount
+                fee_growth_global = (
+                    fee_growth_global + (fee_amount * Q128) // liquidity
+                ) % Q128
 
             if sqrt_price == sqrt_price_next:
                 if initialized:
-                    if zero_for_one:
-                        fg0, fg1 = fee_growth_global, self.fee_growth_global1_x128
-                    else:
-                        fg0, fg1 = self.fee_growth_global0_x128, fee_growth_global
-                    liquidity_net = self.ticks.cross(tick_next, fg0, fg1)
-                    if zero_for_one:
-                        liquidity_net = -liquidity_net
-                    liquidity = liquidity_math.add_delta(liquidity, liquidity_net)
+                    info = tick_records.get(tick_next)
+                    if info is not None:
+                        if zero_for_one:
+                            crossings.append((
+                                tick_next,
+                                (fee_growth_global - info.fee_growth_outside0_x128) % Q128,
+                                (fee_growth_other - info.fee_growth_outside1_x128) % Q128,
+                            ))
+                            liquidity = liquidity_math.add_delta(
+                                liquidity, -info.liquidity_net
+                            )
+                        else:
+                            crossings.append((
+                                tick_next,
+                                (fee_growth_other - info.fee_growth_outside0_x128) % Q128,
+                                (fee_growth_global - info.fee_growth_outside1_x128) % Q128,
+                            ))
+                            liquidity = liquidity_math.add_delta(
+                                liquidity, info.liquidity_net
+                            )
                 tick = tick_next - 1 if zero_for_one else tick_next
             elif sqrt_price != step_start_price:
-                tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price)
-
-        self.sqrt_price_x96 = sqrt_price
-        self.tick = tick
-        self.liquidity = liquidity
-        if zero_for_one:
-            self.fee_growth_global0_x128 = fee_growth_global
-        else:
-            self.fee_growth_global1_x128 = fee_growth_global
+                tick = tick_at(sqrt_price)
 
         if zero_for_one == exact_input:
             amount0 = amount_specified - amount_remaining
@@ -378,15 +494,19 @@ class Pool:
         else:
             amount0 = amount_calculated
             amount1 = amount_specified - amount_remaining
-        self.balance0 += amount0
-        self.balance1 += amount1
-        return SwapResult(
+        return PendingSwap(
+            pool=self,
+            zero_for_one=zero_for_one,
             amount0=amount0,
             amount1=amount1,
-            sqrt_price_x96=sqrt_price,
-            tick=tick,
-            liquidity=liquidity,
+            sqrt_price_after_x96=sqrt_price,
+            tick_after=tick,
+            liquidity_after=liquidity,
+            fee_growth_global_x128=fee_growth_global,
             fee_paid=total_fee,
+            crossings=crossings,
+            _pre_tick=self.tick,
+            _pre_state_version=self._state_version,
         )
 
     # -- flash loans -----------------------------------------------------------------
@@ -429,6 +549,7 @@ class Pool:
             ) % Q128
         self.balance0 += extra0
         self.balance1 += extra1
+        self._state_version += 1
         return fee0, fee1
 
     # -- introspection ------------------------------------------------------------

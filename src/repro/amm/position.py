@@ -13,7 +13,7 @@ from repro.amm.fixed_point import Q128, mul_div
 from repro.errors import LiquidityError, PositionError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PositionKey:
     """Identifies a position by owner and price range."""
 
@@ -22,7 +22,7 @@ class PositionKey:
     tick_upper: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PositionInfo:
     """Per-position accounting (Position.Info in the Solidity core)."""
 

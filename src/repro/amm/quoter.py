@@ -1,22 +1,23 @@
 """Read-only swap quoting (the QuoterV2 pattern).
 
-Runs the exact swap loop against a pool without mutating it, so callers
+Quotes the exact swap loop against a pool without mutating it, so callers
 can validate slippage bounds and deposit coverage *before* executing.
-The ammBoost executor relies on this to reject uncovered transactions
-without corrupting pool state (the sidechain must "accept only these for
-which issuing users own tokens on the mainchain").
+Since PR 1 this is a thin view over :meth:`Pool.prepare_swap` — the quote
+and a subsequent execution literally share one walk implementation, so
+they agree to the wei by construction (the ammBoost executor relies on
+this to reject uncovered transactions without corrupting pool state: the
+sidechain must "accept only these for which issuing users own tokens on
+the mainchain").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.amm import swap_math, tick_math
-from repro.amm.pool import Pool
-from repro.errors import AMMError
+from repro.amm.pool import PendingSwap, Pool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Quote:
     """Predicted outcome of a swap (amounts signed from pool perspective)."""
 
@@ -31,6 +32,15 @@ class Quote:
             return self.amount0, -self.amount1
         return self.amount1, -self.amount0
 
+    @classmethod
+    def from_pending(cls, pending: PendingSwap) -> "Quote":
+        return cls(
+            amount0=pending.amount0,
+            amount1=pending.amount1,
+            sqrt_price_after_x96=pending.sqrt_price_after_x96,
+            fee_paid=pending.fee_paid,
+        )
+
 
 def quote_swap(
     pool: Pool,
@@ -40,76 +50,10 @@ def quote_swap(
 ) -> Quote:
     """Simulate ``pool.swap`` without side effects.
 
-    Mirrors the pool's swap loop exactly (same tick walk, same rounding),
-    reading tick data without writing, so the quote matches a subsequent
-    real swap to the wei.
+    Runs the pool's own swap walk (same tick visits, same rounding) and
+    discards the pending commit, so the quote matches a subsequent real
+    swap exactly.
     """
-    if amount_specified == 0:
-        raise AMMError("swap amount must be non-zero")
-    if sqrt_price_limit_x96 is None:
-        sqrt_price_limit_x96 = (
-            tick_math.MIN_SQRT_RATIO + 1
-            if zero_for_one
-            else tick_math.MAX_SQRT_RATIO - 1
-        )
-
-    exact_input = amount_specified > 0
-    amount_remaining = amount_specified
-    amount_calculated = 0
-    sqrt_price = pool.sqrt_price_x96
-    tick = pool.tick
-    liquidity = pool.liquidity
-    total_fee = 0
-
-    while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
-        step_start_price = sqrt_price
-        tick_next, initialized = pool.ticks.next_initialized_tick(
-            tick, lte=zero_for_one
-        )
-        if tick_next is None:
-            tick_next = tick_math.MIN_TICK if zero_for_one else tick_math.MAX_TICK
-            initialized = False
-        tick_next = max(tick_math.MIN_TICK, min(tick_math.MAX_TICK, tick_next))
-        sqrt_price_next = tick_math.get_sqrt_ratio_at_tick(tick_next)
-        if zero_for_one:
-            target = max(sqrt_price_next, sqrt_price_limit_x96)
-        else:
-            target = min(sqrt_price_next, sqrt_price_limit_x96)
-
-        if liquidity == 0:
-            sqrt_price = target
-        else:
-            step = swap_math.compute_swap_step(
-                sqrt_price, target, liquidity, amount_remaining, pool.config.fee_pips
-            )
-            sqrt_price = step.sqrt_price_next_x96
-            total_fee += step.fee_amount
-            if exact_input:
-                amount_remaining -= step.amount_in + step.fee_amount
-                amount_calculated -= step.amount_out
-            else:
-                amount_remaining += step.amount_out
-                amount_calculated += step.amount_in + step.fee_amount
-
-        if sqrt_price == sqrt_price_next:
-            if initialized:
-                liquidity_net = pool.ticks.get(tick_next).liquidity_net
-                if zero_for_one:
-                    liquidity_net = -liquidity_net
-                liquidity += liquidity_net
-            tick = tick_next - 1 if zero_for_one else tick_next
-        elif sqrt_price != step_start_price:
-            tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price)
-
-    if zero_for_one == exact_input:
-        amount0 = amount_specified - amount_remaining
-        amount1 = amount_calculated
-    else:
-        amount0 = amount_calculated
-        amount1 = amount_specified - amount_remaining
-    return Quote(
-        amount0=amount0,
-        amount1=amount1,
-        sqrt_price_after_x96=sqrt_price,
-        fee_paid=total_fee,
+    return Quote.from_pending(
+        pool.prepare_swap(zero_for_one, amount_specified, sqrt_price_limit_x96)
     )

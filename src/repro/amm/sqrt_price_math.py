@@ -7,12 +7,7 @@ favours the pool.
 
 from __future__ import annotations
 
-from repro.amm.fixed_point import (
-    Q96,
-    div_rounding_up,
-    mul_div,
-    mul_div_rounding_up,
-)
+from repro.amm.fixed_point import div_rounding_up, mul_div_rounding_up
 from repro.errors import AMMError
 
 
@@ -82,19 +77,20 @@ def get_next_sqrt_price_from_output(
 def get_amount0_delta(
     sqrt_ratio_a_x96: int, sqrt_ratio_b_x96: int, liquidity: int, round_up: bool
 ) -> int:
-    """Token0 owed across a price range: ``L * (1/sqrt(a) - 1/sqrt(b))``."""
+    """Token0 owed across a price range: ``L * (1/sqrt(a) - 1/sqrt(b))``.
+
+    The fixed-point helpers are inlined (denominators are positive by
+    construction): this runs once or twice per swap step.
+    """
     if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
         sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
     if sqrt_ratio_a_x96 <= 0:
         raise AMMError("sqrt ratio must be positive")
-    numerator1 = liquidity << 96
-    numerator2 = sqrt_ratio_b_x96 - sqrt_ratio_a_x96
+    numerator = (liquidity << 96) * (sqrt_ratio_b_x96 - sqrt_ratio_a_x96)
     if round_up:
-        return div_rounding_up(
-            mul_div_rounding_up(numerator1, numerator2, sqrt_ratio_b_x96),
-            sqrt_ratio_a_x96,
-        )
-    return mul_div(numerator1, numerator2, sqrt_ratio_b_x96) // sqrt_ratio_a_x96
+        intermediate = -((-numerator) // sqrt_ratio_b_x96)
+        return (intermediate + sqrt_ratio_a_x96 - 1) // sqrt_ratio_a_x96
+    return (numerator // sqrt_ratio_b_x96) // sqrt_ratio_a_x96
 
 
 def get_amount1_delta(
@@ -103,10 +99,10 @@ def get_amount1_delta(
     """Token1 owed across a price range: ``L * (sqrt(b) - sqrt(a))``."""
     if sqrt_ratio_a_x96 > sqrt_ratio_b_x96:
         sqrt_ratio_a_x96, sqrt_ratio_b_x96 = sqrt_ratio_b_x96, sqrt_ratio_a_x96
-    diff = sqrt_ratio_b_x96 - sqrt_ratio_a_x96
+    product = liquidity * (sqrt_ratio_b_x96 - sqrt_ratio_a_x96)
     if round_up:
-        return mul_div_rounding_up(liquidity, diff, Q96)
-    return mul_div(liquidity, diff, Q96)
+        return -((-product) >> 96)
+    return product >> 96
 
 
 def get_amount0_delta_signed(

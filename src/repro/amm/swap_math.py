@@ -16,7 +16,7 @@ from repro.amm.sqrt_price_math import (
 FEE_PIPS_DENOMINATOR = 1_000_000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwapStep:
     """Result of swapping as far as possible toward a target price."""
 
@@ -38,6 +38,30 @@ def compute_swap_step(
     ``amount_remaining`` is positive for exact-input swaps (it includes the
     fee) and negative for exact-output swaps, mirroring the Solidity
     convention.
+    """
+    return SwapStep(
+        *compute_swap_step_values(
+            sqrt_price_current_x96,
+            sqrt_price_target_x96,
+            liquidity,
+            amount_remaining,
+            fee_pips,
+        )
+    )
+
+
+def compute_swap_step_values(
+    sqrt_price_current_x96: int,
+    sqrt_price_target_x96: int,
+    liquidity: int,
+    amount_remaining: int,
+    fee_pips: int,
+) -> tuple[int, int, int, int]:
+    """Allocation-free core of :func:`compute_swap_step`.
+
+    Returns ``(sqrt_price_next_x96, amount_in, amount_out, fee_amount)`` as
+    a plain tuple — the swap loop calls this once per tick step, so it
+    avoids constructing a :class:`SwapStep` per step.
     """
     zero_for_one = sqrt_price_current_x96 >= sqrt_price_target_x96
     exact_in = amount_remaining >= 0
@@ -120,9 +144,4 @@ def compute_swap_step(
             amount_in_final, fee_pips, FEE_PIPS_DENOMINATOR - fee_pips
         )
 
-    return SwapStep(
-        sqrt_price_next_x96=sqrt_price_next,
-        amount_in=amount_in_final,
-        amount_out=amount_out_final,
-        fee_amount=fee_amount,
-    )
+    return sqrt_price_next, amount_in_final, amount_out_final, fee_amount

@@ -5,18 +5,23 @@ positions can compute the fees accrued strictly inside their range.  The
 Solidity implementation indexes initialized ticks with a bitmap; a sorted
 list with bisection gives the same ``next initialized tick`` queries with
 clearer Python.
+
+Read paths (``peek``, ``fee_growth_inside``, ``next_initialized_tick``)
+never allocate tick records: swaps and quotes under heavy query load must
+not grow ``self.ticks``.  Only ``update`` — the mint/burn path — creates
+records.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.amm.fixed_point import Q128
 from repro.errors import TickError
 
 
-@dataclass
+@dataclass(slots=True)
 class TickInfo:
     """Per-tick accounting (Tick.Info in the Solidity core)."""
 
@@ -36,17 +41,35 @@ class TickTable:
         self.tick_spacing = tick_spacing
         self.ticks: dict[int, TickInfo] = {}
         self._sorted: list[int] = []
+        #: (tick, lte) -> next_initialized_tick result; flushed whenever the
+        #: index mutates.  Swaps that stay within one tick range hit this
+        #: repeatedly with the same key.
+        self._neighbor_cache: dict[tuple[int, bool], tuple[int | None, bool]] = {}
 
     def __contains__(self, tick: int) -> bool:
         return tick in self.ticks
 
     def get(self, tick: int) -> TickInfo:
-        """Fetch (creating if absent) the info record for ``tick``."""
+        """Fetch (creating if absent) the info record for ``tick``.
+
+        Write-path helper: use :meth:`peek` on read paths so queries never
+        allocate phantom records.
+        """
         info = self.ticks.get(tick)
         if info is None:
             info = TickInfo()
             self.ticks[tick] = info
         return info
+
+    def peek(self, tick: int) -> TickInfo:
+        """Read the info record for ``tick`` without creating one.
+
+        Absent ticks read as a fresh all-zeros record (an uninitialized
+        tick's fee-growth-outside values are zero by definition) that is
+        not stored in the table — mutating it has no effect.
+        """
+        info = self.ticks.get(tick)
+        return info if info is not None else TickInfo()
 
     def check_spacing(self, tick: int) -> None:
         if tick % self.tick_spacing != 0:
@@ -103,8 +126,14 @@ class TickTable:
         fee_growth_global0_x128: int,
         fee_growth_global1_x128: int,
     ) -> int:
-        """Cross an initialized tick during a swap; returns liquidity_net."""
-        info = self.get(tick)
+        """Cross an initialized tick during a swap; returns liquidity_net.
+
+        Crossing an absent tick is a no-op returning zero net liquidity —
+        the swap loop only crosses indexed ticks, so no record is created.
+        """
+        info = self.ticks.get(tick)
+        if info is None:
+            return 0
         info.fee_growth_outside0_x128 = (
             fee_growth_global0_x128 - info.fee_growth_outside0_x128
         ) % Q128
@@ -123,17 +152,31 @@ class TickTable:
         zero-for-one swaps.  Returns ``(tick, initialized)`` with ``None``
         when no initialized tick remains in that direction.
         """
-        if not self._sorted:
+        key = (tick, lte)
+        cached = self._neighbor_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._next_initialized_tick_uncached(tick, lte)
+        if len(self._neighbor_cache) >= 4096:
+            self._neighbor_cache.clear()
+        self._neighbor_cache[key] = result
+        return result
+
+    def _next_initialized_tick_uncached(
+        self, tick: int, lte: bool
+    ) -> tuple[int | None, bool]:
+        ticks = self._sorted
+        if not ticks:
             return None, False
         if lte:
-            idx = bisect.bisect_right(self._sorted, tick) - 1
+            idx = bisect.bisect_right(ticks, tick) - 1
             if idx < 0:
                 return None, False
-            return self._sorted[idx], True
-        idx = bisect.bisect_right(self._sorted, tick)
-        if idx >= len(self._sorted):
+            return ticks[idx], True
+        idx = bisect.bisect_right(ticks, tick)
+        if idx >= len(ticks):
             return None, False
-        return self._sorted[idx], True
+        return ticks[idx], True
 
     def fee_growth_inside(
         self,
@@ -148,8 +191,8 @@ class TickTable:
         Arithmetic is modulo 2^256 in Solidity; Q128 wrap-around here keeps
         the same relative-difference semantics.
         """
-        lower = self.get(tick_lower)
-        upper = self.get(tick_upper)
+        lower = self.peek(tick_lower)
+        upper = self.peek(tick_upper)
         if tick_current >= tick_lower:
             below0 = lower.fee_growth_outside0_x128
             below1 = lower.fee_growth_outside1_x128
@@ -172,8 +215,10 @@ class TickTable:
         idx = bisect.bisect_left(self._sorted, tick)
         if idx >= len(self._sorted) or self._sorted[idx] != tick:
             self._sorted.insert(idx, tick)
+            self._neighbor_cache.clear()
 
     def _remove(self, tick: int) -> None:
         idx = bisect.bisect_left(self._sorted, tick)
         if idx < len(self._sorted) and self._sorted[idx] == tick:
             self._sorted.pop(idx)
+            self._neighbor_cache.clear()

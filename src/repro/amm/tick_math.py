@@ -1,13 +1,18 @@
 """Tick math: conversions between tick indices and Q64.96 sqrt prices.
 
 ``get_sqrt_ratio_at_tick`` is a direct port of Uniswap V3's ``TickMath.sol``
-(the magic-constant ladder computes ``sqrt(1.0001^tick) * 2^96`` exactly).
-``get_tick_at_sqrt_ratio`` is implemented as a binary search over the
-forward function, which is exact by construction and avoids porting the
-log2 bit-twiddling.
+(the magic-constant ladder computes ``sqrt(1.0001^tick) * 2^96`` exactly),
+fronted by a bounded memo cache since swaps revisit the same tick
+boundaries constantly.  ``get_tick_at_sqrt_ratio`` is the log₂
+bit-twiddling port from the same library; the original binary search over
+the forward function is retained as
+``get_tick_at_sqrt_ratio_reference`` — exact by construction — and the
+test suite proves the two agree across the whole tick range.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.errors import TickError
 
@@ -45,6 +50,12 @@ _TICK_STEPS = (
     (0x80000, 0x48A170391F7DC42444E8FA2),
 )
 
+#: log₂(sqrt(1.0001)) reciprocal scaling constant (Q128 fixed point) and the
+#: error bounds around the computed log, from TickMath.getTickAtSqrtRatio.
+_LOG_SQRT10001_FACTOR = 255738958999603826347141
+_TICK_LOW_ERROR = 3402992956809132418596140100660247210
+_TICK_HI_ERROR = 291339464771989622907027621153398088495
+
 
 def check_tick(tick: int) -> None:
     """Raise :class:`TickError` if ``tick`` is out of bounds."""
@@ -60,10 +71,9 @@ def check_tick_range(tick_lower: int, tick_upper: int) -> None:
         raise TickError(f"tick_lower {tick_lower} must be below tick_upper {tick_upper}")
 
 
-def get_sqrt_ratio_at_tick(tick: int) -> int:
-    """``sqrt(1.0001^tick) * 2^96`` as a Q64.96 integer (exact port)."""
-    check_tick(tick)
-    abs_tick = abs(tick)
+@lru_cache(maxsize=65536)
+def _sqrt_ratio_at_tick(tick: int) -> int:
+    abs_tick = -tick if tick < 0 else tick
     if abs_tick & 0x1:
         ratio = 0xFFFCB933BD6FAD37AA2D162D1A594001
     else:
@@ -74,10 +84,13 @@ def get_sqrt_ratio_at_tick(tick: int) -> int:
     if tick > 0:
         ratio = _MAX_UINT256 // ratio
     # Q128.128 -> Q64.96, rounding up.
-    sqrt_price = ratio >> 32
-    if ratio % (1 << 32):
-        sqrt_price += 1
-    return sqrt_price
+    return (ratio >> 32) + (1 if ratio & 0xFFFFFFFF else 0)
+
+
+def get_sqrt_ratio_at_tick(tick: int) -> int:
+    """``sqrt(1.0001^tick) * 2^96`` as a Q64.96 integer (exact port)."""
+    check_tick(tick)
+    return _sqrt_ratio_at_tick(tick)
 
 
 def get_tick_at_sqrt_ratio(sqrt_price_x96: int) -> int:
@@ -85,6 +98,44 @@ def get_tick_at_sqrt_ratio(sqrt_price_x96: int) -> int:
 
     Matches TickMath.getTickAtSqrtRatio's contract exactly, including the
     requirement that the input lie in ``[MIN_SQRT_RATIO, MAX_SQRT_RATIO)``.
+    Direct port of the Solidity log₂ fixed-point computation: normalise the
+    ratio to [2^127, 2^128), square repeatedly to extract 14 fractional
+    bits of log₂, rescale to log_{sqrt(1.0001)}, then disambiguate the
+    ±1-tick error window with a single forward evaluation.
+    """
+    if not (MIN_SQRT_RATIO <= sqrt_price_x96 < MAX_SQRT_RATIO):
+        raise TickError(f"sqrt price {sqrt_price_x96} out of range")
+
+    ratio = sqrt_price_x96 << 32
+    msb = ratio.bit_length() - 1
+    if msb >= 128:
+        r = ratio >> (msb - 127)
+    else:
+        r = ratio << (127 - msb)
+
+    # Python's arbitrary-precision ints use two's-complement semantics for
+    # ``|`` and arithmetic ``>>`` on negatives, matching int256 exactly.
+    log_2 = (msb - 128) << 64
+    for shift in range(63, 49, -1):
+        r = (r * r) >> 127
+        f = r >> 128
+        log_2 |= f << shift
+        r >>= f
+
+    log_sqrt10001 = log_2 * _LOG_SQRT10001_FACTOR
+    tick_low = (log_sqrt10001 - _TICK_LOW_ERROR) >> 128
+    tick_hi = (log_sqrt10001 + _TICK_HI_ERROR) >> 128
+    if tick_low == tick_hi:
+        return tick_low
+    return tick_hi if _sqrt_ratio_at_tick(tick_hi) <= sqrt_price_x96 else tick_low
+
+
+def get_tick_at_sqrt_ratio_reference(sqrt_price_x96: int) -> int:
+    """Binary-search reference for :func:`get_tick_at_sqrt_ratio`.
+
+    Exact by construction (inverts the forward function directly); kept as
+    the oracle for the equivalence property tests and the benchmark
+    harness's before/after comparison.
     """
     if not (MIN_SQRT_RATIO <= sqrt_price_x96 < MAX_SQRT_RATIO):
         raise TickError(f"sqrt price {sqrt_price_x96} out of range")
@@ -92,7 +143,7 @@ def get_tick_at_sqrt_ratio(sqrt_price_x96: int) -> int:
     # Invariant: ratio(lo) <= sqrt_price < ratio(hi + 1).
     while lo < hi:
         mid = (lo + hi + 1) // 2
-        if get_sqrt_ratio_at_tick(mid) <= sqrt_price_x96:
+        if _sqrt_ratio_at_tick(mid) <= sqrt_price_x96:
             lo = mid
         else:
             hi = mid - 1

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 from repro.amm import liquidity_math, sqrt_price_math, tick_math
 from repro.amm.pool import Pool
-from repro.amm.quoter import quote_swap
 from repro.core.transactions import (
     BurnTx,
     CollectTx,
@@ -92,6 +91,16 @@ class SidechainExecutor:
         self.processed_count += 1
         return True
 
+    def process_round(
+        self, txs: list[SidechainTx], current_round: int = 0
+    ) -> list[SidechainTx]:
+        """Execute one round's batch of transactions; returns those accepted.
+
+        Rejected transactions carry ``reject_reason`` and leave state
+        untouched, exactly as :meth:`process` does one at a time.
+        """
+        return [tx for tx in txs if self.process(tx, current_round=current_round)]
+
     # -- swaps -----------------------------------------------------------------------
 
     def _process_swap(self, tx: SwapTx) -> None:
@@ -100,10 +109,14 @@ class SidechainExecutor:
         if tx.amount <= 0:
             raise AMMError("swap amount must be positive")
         amount_specified = tx.amount if tx.exact_input else -tx.amount
-        quote = quote_swap(
-            self.pool, tx.zero_for_one, amount_specified, tx.sqrt_price_limit_x96
+        # Fused quote/execute: one tick walk computes the outcome without
+        # touching pool state; only after slippage and deposit coverage
+        # pass is the prepared swap committed (in O(crossings), no
+        # re-simulation).  Rejection leaves the pool untouched.
+        pending = self.pool.prepare_swap(
+            tx.zero_for_one, amount_specified, tx.sqrt_price_limit_x96
         )
-        amount_in, amount_out = quote.trader_amounts(tx.zero_for_one)
+        amount_in, amount_out = pending.trader_amounts()
         if tx.exact_input:
             if tx.amount_limit is not None and amount_out < tx.amount_limit:
                 raise AMMError(
@@ -120,9 +133,7 @@ class SidechainExecutor:
             raise DepositError(
                 f"deposit {balance[in_index]} cannot cover swap input {amount_in}"
             )
-        # Validated: execute for real.  The pool walk is deterministic, so
-        # the result matches the quote to the wei.
-        result = self.pool.swap(tx.zero_for_one, amount_specified, tx.sqrt_price_limit_x96)
+        result = pending.commit()
         delta0, delta1 = -result.amount0, -result.amount1
         balance[0] += delta0
         balance[1] += delta1

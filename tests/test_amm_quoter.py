@@ -21,6 +21,18 @@ def test_quote_does_not_mutate_pool():
     assert pool.snapshot() == before
 
 
+def test_quote_does_not_grow_tick_table():
+    # Regression: the quoter's tick reads used to materialise phantom
+    # records for every uninitialized tick it touched.
+    pool = fresh_pool()
+    pool.mint("lp", -6000, 6000, 10**20)
+    record_count = len(pool.ticks.ticks)
+    for _ in range(5):
+        quote_swap(pool, True, 10**17)
+        quote_swap(pool, False, 10**17)
+    assert len(pool.ticks.ticks) == record_count
+
+
 def test_quote_matches_execution_exact_input():
     pool = fresh_pool()
     pool.mint("lp", -6000, 6000, 10**20)

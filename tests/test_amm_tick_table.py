@@ -121,3 +121,38 @@ def test_spacing_validation(table):
 def test_bad_spacing_rejected():
     with pytest.raises(TickError):
         TickTable(tick_spacing=0)
+
+
+def test_peek_does_not_create_records(table):
+    info = table.peek(60)
+    assert info.liquidity_gross == 0
+    assert not info.initialized
+    assert table.ticks == {}
+
+
+def test_peek_returns_live_record(table):
+    table.update(60, 0, 1000, 0, 0, upper=False)
+    assert table.peek(60) is table.get(60)
+
+
+def test_fee_growth_inside_does_not_create_records(table):
+    # Regression: read paths previously materialised phantom TickInfo
+    # records for uninitialized ticks, growing the table under query load.
+    table.fee_growth_inside(-60, 60, 0, 500, 700)
+    assert table.ticks == {}
+
+
+def test_cross_absent_tick_is_noop(table):
+    assert table.cross(60, 100, 200) == 0
+    assert table.ticks == {}
+
+
+def test_next_initialized_tick_cache_invalidation(table):
+    table.update(60, 0, 1, 0, 0, upper=False)
+    assert table.next_initialized_tick(100, lte=True) == (60, True)
+    # Cached answer must be flushed when the index changes.
+    table.update(90, 0, 1, 0, 0, upper=False)
+    assert table.next_initialized_tick(100, lte=True) == (90, True)
+    table.update(90, 0, -1, 0, 0, upper=False)
+    table.clear(90)
+    assert table.next_initialized_tick(100, lte=True) == (60, True)

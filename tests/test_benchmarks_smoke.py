@@ -1,0 +1,65 @@
+"""Smoke check for the persistent benchmark harness.
+
+Runs ``benchmarks/run_benchmarks.py --quick`` (each scenario once) and
+asserts it completes and writes valid JSON, so the perf tooling cannot
+silently rot between PRs.  Throughput numbers from quick mode are noisy
+by design and are not asserted on.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RUNNER = REPO_ROOT / "benchmarks" / "run_benchmarks.py"
+
+
+def test_run_benchmarks_quick_writes_valid_json(tmp_path):
+    output = tmp_path / "BENCH_amm.json"
+    proc = subprocess.run(
+        [sys.executable, str(RUNNER), "--quick", "-o", str(output)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(output.read_text())
+    assert report["suite"] == "amm_engine"
+    assert report["quick"] is True
+    expected = {
+        "tick_math_roundtrip",
+        "sqrt_ratio_at_tick",
+        "swap_in_range",
+        "swap_crossing_ticks",
+        "quote",
+        "mint_burn_cycle",
+        "executor_round",
+    }
+    assert set(report["scenarios"]) == expected
+    for name, result in report["scenarios"].items():
+        assert result["ops_per_sec"] > 0, name
+        assert result["seconds_per_op"] > 0, name
+    assert set(report["seed_baseline_ops_per_sec"]) == expected
+
+
+def test_run_benchmarks_single_scenario(tmp_path):
+    output = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(RUNNER),
+            "--quick",
+            "--scenario",
+            "sqrt_ratio_at_tick",
+            "-o",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(output.read_text())
+    assert list(report["scenarios"]) == ["sqrt_ratio_at_tick"]
+    assert report["speedup_vs_seed"]["sqrt_ratio_at_tick"] > 0
