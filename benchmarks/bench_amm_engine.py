@@ -137,6 +137,44 @@ def make_executor_round_op():
     return op
 
 
+SYSTEM_EPOCH_VOLUME = 500_000
+SYSTEM_EPOCH_ROUNDS = 6
+
+
+def make_system_epoch_op():
+    """One full epoch of :class:`AmmBoostSystem` — the system-level bound.
+
+    Drives the whole stack (election + DKG, traffic generation, meta-block
+    mining, summary + TSQC sync, mainchain confirmation, pruning) for one
+    epoch per call; successive calls run successive epochs of the same
+    deployment.  ``op.scale`` is the nominal transaction count per epoch so
+    the reported ops/sec is sidechain transactions per wall-clock second.
+    """
+    from repro.core.system import AmmBoostConfig, AmmBoostSystem
+    from repro.workload.generator import arrival_rate_per_round
+
+    config = AmmBoostConfig(
+        committee_size=8,
+        miner_population=16,
+        num_users=20,
+        daily_volume=SYSTEM_EPOCH_VOLUME,
+        rounds_per_epoch=SYSTEM_EPOCH_ROUNDS,
+        seed=11,
+    )
+    system = AmmBoostSystem(config)
+    system.setup()
+    system._traffic_start = system.clock.now
+    state = {"epoch": 0}
+
+    def op():
+        system._run_epoch(state["epoch"], inject=True)
+        state["epoch"] += 1
+
+    rho = arrival_rate_per_round(SYSTEM_EPOCH_VOLUME, config.round_duration)
+    op.scale = rho * (SYSTEM_EPOCH_ROUNDS - 1)
+    return op
+
+
 # -- pytest-benchmark wrappers -------------------------------------------------
 
 
@@ -162,6 +200,10 @@ def test_bench_mint_burn_cycle(benchmark):
 def test_bench_executor_round(benchmark):
     accepted = benchmark(make_executor_round_op())
     assert len(accepted) == EXECUTOR_ROUND_TXS
+
+
+def test_bench_system_epoch(benchmark):
+    benchmark(make_system_epoch_op())
 
 
 def test_bench_tick_math_roundtrip(benchmark):

@@ -45,6 +45,9 @@ SEED_BASELINE_OPS_PER_SEC = {
     "quote": 23_906.2,
     "mint_burn_cycle": 43_068.2,
     "executor_round": 10_683.4,
+    # system_epoch was added in PR 2; its baseline is the PR 1 (monolithic
+    # epoch loop) tree measured with this same runner, in sidechain tx/s.
+    "system_epoch": 26_326.6,
 }
 
 # Scenario bodies are defined once in bench_amm_engine.py (shared with the
@@ -57,6 +60,7 @@ SCENARIOS = {
     "quote": bench_amm_engine.make_quote_op,
     "mint_burn_cycle": bench_amm_engine.make_mint_burn_cycle_op,
     "executor_round": bench_amm_engine.make_executor_round_op,
+    "system_epoch": bench_amm_engine.make_system_epoch_op,
 }
 
 

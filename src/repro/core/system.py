@@ -16,6 +16,14 @@ metric collection — and runs the paper's experiment loop:
 * after the configured epochs the queue is drained (the paper's "empty
   the transaction queues after the end of each run").
 
+The epoch loop itself is decomposed into composable phase objects
+(:mod:`repro.core.phases`): this class owns the substrates and run-level
+control flow, each :class:`~repro.core.phases.EpochPhase` owns one stage
+of the loop, and an :class:`~repro.core.phases.EpochContext` carries the
+per-epoch state between them.  Custom pipelines (extra phases, swapped
+stages) can be passed via ``epoch_phases``; the default pipeline is
+byte-identical to the historical monolithic loop.
+
 Interruptions (failed sync leaders via ``fail_sync_epochs``; mainchain
 rollbacks via :meth:`AmmBoostSystem.inject_mainchain_rollback`) are
 recovered by mass-syncing with key hand-over certificates.
@@ -25,30 +33,36 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro import constants
 from repro.amm.fixed_point import encode_price_sqrt
 from repro.amm.pool import Pool, PoolConfig
+from repro.core import phases as epoch_phases_mod
 from repro.core.executor import SidechainExecutor
+from repro.core.phases import (
+    EpochContext,
+    EpochPhase,
+    MetricsFinalizePhase,
+    default_epoch_phases,
+)
 from repro.core.snapshot import SnapshotBank
-from repro.core.summary import EpochSummary, summarize_epoch
-from repro.core.sync import KeyHandover, SyncPayload, TsqcAuthenticator, create_tx_sync
+from repro.core.summary import EpochSummary
+from repro.core.sync import KeyHandover, SyncPayload, TsqcAuthenticator
 from repro.core.token_bank import TokenBank
-from repro.core.transactions import BurnTx, MintTx, SidechainTx
-from repro.crypto.dkg import simulate_dkg
-from repro.crypto.hashing import keccak256
+from repro.core.transactions import SidechainTx
 from repro.crypto.vrf import vrf_keygen
 from repro.errors import ConfigurationError
 from repro.mainchain.chain import Mainchain
 from repro.mainchain.contracts.erc20 import ERC20Token
-from repro.mainchain.transactions import MainchainTransaction, TxStatus
+from repro.mainchain.transactions import MainchainTransaction
 from repro.metrics.collector import MetricsCollector
-from repro.sidechain.blocks import MetaBlock, SummaryBlock
 from repro.sidechain.chain import SidechainLedger
-from repro.sidechain.election import Committee, elect_committee
+from repro.sidechain.election import Committee
 from repro.sidechain.timing import AgreementTimeModel
 from repro.simulation.clock import SimClock
 from repro.simulation.rng import DeterministicRng
+from repro.workload.arrivals import ArrivalProcess, ConstantArrivals
 # Imported lazily inside __init__ to avoid a package-import cycle
 # (workload.generator uses repro.core.transactions).
 from repro.workload.distribution import TrafficDistribution
@@ -109,7 +123,12 @@ class _PendingSync:
 
 
 class AmmBoostSystem:
-    """A complete ammBoost deployment over simulated substrates."""
+    """A complete ammBoost deployment over simulated substrates.
+
+    The system is a thin orchestrator: it owns the substrates (mainchain,
+    AMM pool, sidechain ledger, miner population, metrics) and delegates
+    each epoch to the phase pipeline (:mod:`repro.core.phases`).
+    """
 
     TOKEN0 = "TKA"
     TOKEN1 = "TKB"
@@ -118,12 +137,18 @@ class AmmBoostSystem:
         self,
         config: AmmBoostConfig | None = None,
         distribution: TrafficDistribution | None = None,
+        arrivals: ArrivalProcess | None = None,
+        epoch_phases: Sequence[EpochPhase] | None = None,
     ) -> None:
         from repro.workload.generator import TrafficGenerator
         from repro.workload.users import UserPopulation
 
         self.config = config or AmmBoostConfig()
         self.distribution = distribution or TrafficDistribution.uniswap_2023()
+        self.arrivals = arrivals or ConstantArrivals()
+        self.epoch_phases: tuple[EpochPhase, ...] = tuple(
+            epoch_phases if epoch_phases is not None else default_epoch_phases()
+        )
         self.rng = DeterministicRng(self.config.seed)
         self.clock = SimClock()
         self.timing = AgreementTimeModel()
@@ -201,7 +226,7 @@ class AmmBoostSystem:
 
         # Elect and key the first epoch committee; its vk_c goes into the
         # genesis configuration of TokenBank (SystemSetup, Figure 2).
-        self._committee, self._auth = self._elect_and_key(epoch=0)
+        self._committee, self._auth = epoch_phases_mod.elect_and_key(self, epoch=0)
         self.token_bank.set_genesis_committee(self._auth.group_vk)
 
         # createPool on the mainchain.
@@ -289,285 +314,12 @@ class AmmBoostSystem:
         self._finalize_metrics()
         return self.metrics
 
-    def _run_epoch(self, epoch: int, inject: bool) -> None:
-        from repro.workload.generator import arrival_rate_per_round
-
-        epoch_start = self.clock.now
-        committee, auth = self._committee, self._auth
-        assert committee is not None and auth is not None
-
-        # During this epoch the next committee is elected, runs its DKG,
-        # and the current committee certifies the key hand-over after
-        # checking election proofs (Section IV-C).
-        next_committee, next_auth = self._elect_and_key(epoch + 1)
-        signers = committee.members[: auth.threshold]
-        self._handover_certs[epoch + 1] = auth.certify_handover(
-            epoch + 1, next_auth.group_vk, signers
-        )
-
-        # SnapshotBank: merge deposits confirmed since the last epoch
-        # boundary into the executor's working balances.
-        if epoch == 0:
-            snapshot = self.snapshot_bank.take(epoch)
-            self.executor.begin_epoch(snapshot.deposits)
-            self._deposit_cursor = len(self.token_bank.deposit_events)
-        else:
-            self._merge_new_deposits()
-        epoch_initial_deposits = {
-            user: list(bal) for user, bal in self.executor.deposits.items()
-        }
-        self._epoch_txs[epoch] = []
-
-        rho = (
-            arrival_rate_per_round(self.config.daily_volume, self.config.round_duration)
-            if inject
-            else 0
-        )
-
-        rounds_used = 0
-        for round_index in range(self.config.rounds_per_epoch - 1):
-            if not inject and not self.queue:
-                # Drain epochs close as soon as the backlog is gone: the
-                # committee proceeds straight to the summary round rather
-                # than mining empty meta-blocks.
-                break
-            round_start = epoch_start + round_index * self.config.round_duration
-            round_end = round_start + self.config.round_duration
-            if self.clock.now < round_start:
-                self.clock.advance_to(round_start)
-            if inject:
-                self._inject_traffic(rho, round_start)
-            if not self._bootstrap_done:
-                self._enqueue_bootstrap(round_start)
-            self._mine_meta_block(epoch, round_index, round_end)
-            self._global_round += 1
-            self.mainchain.produce_blocks_until(round_end)
-            self._check_pending_syncs()
-            rounds_used += 1
-
-        summary_end = (
-            epoch_start + (rounds_used + 1) * self.config.round_duration
-        )
-        self._mine_summary_and_sync(epoch, epoch_initial_deposits, summary_end)
-        self._global_round += 1
-        self.mainchain.produce_blocks_until(summary_end)
-        self._check_pending_syncs()
-
-        # The committee hands over at the epoch boundary whether or not its
-        # leader issued the sync (a failed leader is exactly the case the
-        # next committee's mass-sync recovers from).
-        self._rotate_committee(epoch)
-
-    # -- traffic -------------------------------------------------------------------
-
-    def _inject_traffic(self, rho: int, submitted_at: float) -> None:
-        if rho <= 0:
-            return
-        txs = self.generator.generate_round(rho, submitted_at, self.pool.tick)
-        self.queue.extend(txs)
-
-    def _enqueue_bootstrap(self, submitted_at: float) -> None:
-        self._bootstrap_done = True
-        spacing = self.pool.config.tick_spacing
-        width = 1000 * spacing
-        tx = MintTx(
-            user="bootstrap-lp",
-            tick_lower=-width,
-            tick_upper=width,
-            amount0_desired=self.config.bootstrap_amount,
-            amount1_desired=self.config.bootstrap_amount,
-        )
-        tx.submitted_at = submitted_at
-        self.queue.appendleft(tx)
-
-    # -- block production -------------------------------------------------------------
-
-    def _mine_meta_block(self, epoch: int, round_index: int, round_end: float) -> None:
-        block = MetaBlock(
-            epoch=epoch,
-            round_index=round_index,
-            timestamp=round_end,
-            proposer=self._committee.leader() if self._committee else "",
-        )
-        used = 0
-        while self.queue:
-            tx = self.queue[0]
-            if used + tx.size_bytes > self.config.meta_block_size:
-                if used == 0:
-                    # A single transaction larger than the whole block can
-                    # never be included; reject it instead of stalling.
-                    self.queue.popleft()
-                    tx.reject_reason = "transaction exceeds meta-block size"
-                    self.metrics.rejected_txs += 1
-                    continue
-                break
-            self.queue.popleft()
-            accepted = self.executor.process(tx, current_round=self._global_round)
-            if not accepted:
-                self.metrics.rejected_txs += 1
-                continue
-            used += tx.size_bytes
-            tx.included_round = round_index
-            tx.included_epoch = epoch
-            tx.included_at = round_end
-            block.transactions.append(tx)
-            self._epoch_txs.setdefault(epoch, []).append(tx)
-            self.metrics.processed_txs += 1
-            self.metrics.sidechain_latency.record(round_end - tx.submitted_at)
-            self._track_position_ownership(tx)
-        block.seal()
-        self.ledger.append_meta_block(block)
-
-    def _track_position_ownership(self, tx: SidechainTx) -> None:
-        if isinstance(tx, MintTx):
-            self.population.on_position_created(
-                tx.user, tx.effects["position_id"]
-            )
-        elif isinstance(tx, BurnTx) and tx.effects.get("deleted"):
-            self.population.on_position_deleted(tx.user, tx.effects["position_id"])
-
-    def _mine_summary_and_sync(
-        self,
-        epoch: int,
-        epoch_initial_deposits: dict[str, list[int]],
-        round_end: float,
-    ) -> None:
-        summary = summarize_epoch(
-            epoch=epoch,
-            meta_blocks=self.ledger.live_meta_blocks(epoch),
-            initial_deposits=epoch_initial_deposits,
-            pool_balance0=self.pool.balance0,
-            pool_balance1=self.pool.balance1,
-            pool_sqrt_price_x96=self.pool.sqrt_price_x96,
-        )
-        summary_block = SummaryBlock.from_meta_blocks(
-            epoch=epoch,
-            meta_blocks=self.ledger.live_meta_blocks(epoch),
-            payouts=summary.payouts,
-            positions=summary.positions,
-            pool_state={"balance0": self.pool.balance0, "balance1": self.pool.balance1},
-            timestamp=round_end,
-            payout_entry_size=constants.SIZE_PAYOUT_ENTRY_SIDECHAIN,
-            position_entry_size=constants.SIZE_POSITION_ENTRY_SIDECHAIN,
-        )
-        self.ledger.append_summary_block(summary_block)
-        self._unsynced.append(summary)
-
-        if epoch in self.config.fail_sync_epochs:
-            return  # malicious leader withholds the sync; mass-sync recovers
-
-        payload = self._build_sync_payload(epoch)
-        leader = self._committee.leader() if self._committee else "leader"
-        tx = self.mainchain.submit_call(
-            leader,
-            "tokenbank",
-            "sync",
-            payload,
-            size_bytes=payload.size_bytes,
-            gas_limit=self._estimate_sync_gas(payload),
-            label="sync",
-        )
-        self._pending_syncs.append(
-            _PendingSync(
-                tx=tx,
-                payload=payload,
-                epochs=list(payload.epochs),
-                signer_epoch=epoch,
-                pre_state=self.token_bank.state_snapshot(),
-                pre_vkc_epoch=self._onchain_vkc_epoch,
-            )
-        )
-
-    @staticmethod
-    def _estimate_sync_gas(payload: SyncPayload) -> int:
-        """Upper-bound the Sync call's gas so its limit never truncates it."""
-        payouts = sum(len(s.payouts) for s in payload.summaries)
-        positions = sum(len(s.positions) for s in payload.summaries)
-        estimate = (
-            payouts * constants.GAS_PAYOUT_ENTRY
-            + positions * 6 * constants.GAS_SSTORE_WORD
-            + len(payload.summaries) * 4 * constants.GAS_SSTORE_WORD
-            + (2 + len(payload.handovers)) * constants.GAS_BLS_PAIRING_CHECK
-            + 200_000
-        )
-        return max(2_000_000, 2 * estimate)
-
-    def _build_sync_payload(self, epoch: int) -> SyncPayload:
-        """CreateTxSync: unsynced summaries + hand-over chain + next key."""
-        assert self._auth is not None
-        next_auth = self._next_auth
-        handovers = [
-            self._handover_certs[e]
-            for e in range(self._onchain_vkc_epoch + 1, epoch + 1)
-            if e in self._handover_certs
-        ]
-        payload = create_tx_sync(
-            list(self._unsynced), vkc_next=next_auth.group_vk, handovers=handovers
-        )
-        signers = self._committee.members[: self._auth.threshold]
-        return self._auth.sign_payload(payload, signers)
-
-    def _rotate_committee(self, epoch: int) -> None:
-        self._committee = self._next_committee
-        self._auth = self._next_auth
-
-    def _elect_and_key(self, epoch: int):
-        """Elect a committee by sortition and run its (fast-path) DKG."""
-        seed = keccak256(b"epoch-seed", self.config.seed, epoch)
-        committee = elect_committee(
-            miners=self._miner_keys,
-            stakes=self._stakes,
-            epoch=epoch,
-            seed=seed,
-            committee_size=self.config.committee_size,
-        )
-        threshold = constants.committee_quorum(self.config.committee_size)
-        dkg = simulate_dkg(
-            self.config.committee_size, threshold, self.rng.child(f"dkg{epoch}")
-        )
-        auth = TsqcAuthenticator(
-            threshold=threshold,
-            group_vk=dkg.group_vk,
-            shares={
-                member: dkg.shares[i] for i, member in enumerate(committee.members)
-            },
-        )
-        self._next_committee, self._next_auth = committee, auth
-        return committee, auth
-
-    # -- sync confirmation, pruning, payouts ----------------------------------------------
-
-    def _check_pending_syncs(self) -> None:
-        still_pending = []
-        for pending in self._pending_syncs:
-            if self.mainchain.is_confirmed(pending.tx):
-                self._on_sync_confirmed(pending)
-            elif pending.tx.status in (TxStatus.DROPPED, TxStatus.REVERTED):
-                # Lost to a rollback (or rejected): the summaries stay in
-                # self._unsynced and the next epoch mass-syncs them.
-                pass
-            else:
-                still_pending.append(pending)
-        self._pending_syncs = still_pending
-
-    def _on_sync_confirmed(self, pending: _PendingSync) -> None:
-        confirm_time = pending.tx.included_at or self.clock.now
-        self._confirmed_syncs.append(pending)
-        self.metrics.num_syncs += 1
-        if pending.tx.latency is not None:
-            self.metrics.mainchain_latency.record(pending.tx.latency)
-        for epoch in pending.epochs:
-            if self.ledger.is_synced(epoch):
-                continue
-            self.ledger.mark_synced(epoch)
-            self.ledger.prune_epoch(epoch)
-            for tx in self._epoch_txs.pop(epoch, []):
-                self.metrics.payout_latency.record(confirm_time - tx.submitted_at)
-        max_epoch = max(pending.epochs)
-        self._unsynced = [s for s in self._unsynced if s.epoch > max_epoch]
-        self._onchain_vkc_epoch = max(
-            self._onchain_vkc_epoch, pending.signer_epoch + 1
-        )
+    def _run_epoch(self, epoch: int, inject: bool) -> EpochContext:
+        """Run one epoch through the phase pipeline; returns its context."""
+        ctx = EpochContext(epoch=epoch, inject=inject, epoch_start=self.clock.now)
+        for phase in self.epoch_phases:
+            phase.run(self, ctx)
+        return ctx
 
     # -- fault injection ------------------------------------------------------------------
 
@@ -610,38 +362,42 @@ class AmmBoostSystem:
         """Pending plus already-confirmed sync records (for rollbacks)."""
         return self._pending_syncs + self._confirmed_syncs
 
-    # -- bookkeeping ------------------------------------------------------------------------
+    # -- thin delegations into the phase layer --------------------------------------------
+    # Kept for tests, benchmarks and downstream code that drives stages of
+    # the loop directly; each simply forwards to repro.core.phases.
+
+    def _elect_and_key(self, epoch: int):
+        return epoch_phases_mod.elect_and_key(self, epoch)
 
     def _merge_new_deposits(self) -> None:
-        events = self.token_bank.deposit_events
-        for timestamp, user, amount0, amount1 in events[self._deposit_cursor:]:
-            balance = self.executor.deposit_of(user)
-            balance[0] += amount0
-            balance[1] += amount1
-        self._deposit_cursor = len(events)
-        if self.nft_registry is not None:
-            self._merge_ownership_changes()
+        epoch_phases_mod.merge_new_deposits(self)
 
-    def _merge_ownership_changes(self) -> None:
-        """Apply mainchain NFT transfers to the sidechain at epoch start.
+    def _inject_traffic(self, rho: int, submitted_at: float) -> None:
+        epoch_phases_mod.WorkloadIngestPhase.inject_traffic(self, rho, submitted_at)
 
-        Remark 3: position transfers happen on the mainchain, so the
-        sidechain only honours the new owner from the next epoch on.
-        """
-        for position_id, new_owner in self.nft_registry.drain_ownership_events():
-            record = self.executor.positions.get(position_id)
-            if record is None:
-                continue
-            self.population.on_position_deleted(record.owner, position_id)
-            record.owner = new_owner
-            self.population.on_position_created(new_owner, position_id)
+    def _enqueue_bootstrap(self, submitted_at: float) -> None:
+        epoch_phases_mod.WorkloadIngestPhase.enqueue_bootstrap(self, submitted_at)
+
+    def _mine_meta_block(self, epoch: int, round_index: int, round_end: float) -> None:
+        epoch_phases_mod.RoundExecutionPhase.mine_meta_block(
+            self, epoch, round_index, round_end
+        )
+
+    def _mine_summary_and_sync(
+        self,
+        epoch: int,
+        epoch_initial_deposits: dict[str, list[int]],
+        round_end: float,
+    ) -> None:
+        epoch_phases_mod.SummarySyncPhase.mine_summary_and_sync(
+            self, epoch, epoch_initial_deposits, round_end
+        )
+
+    def _build_sync_payload(self, epoch: int) -> SyncPayload:
+        return epoch_phases_mod.build_sync_payload(self, epoch)
+
+    def _check_pending_syncs(self) -> None:
+        epoch_phases_mod.check_pending_syncs(self)
 
     def _finalize_metrics(self) -> None:
-        self.metrics.elapsed_seconds = self.clock.now - self._traffic_start
-        for block in self.mainchain.blocks:
-            for tx in block.transactions:
-                self.metrics.record_gas(tx.gas_breakdown)
-        self.metrics.mainchain_growth_bytes = self.mainchain.growth.tx_bytes
-        self.metrics.sidechain_growth_bytes = self.ledger.growth.total_bytes_appended
-        self.metrics.sidechain_live_bytes = self.ledger.current_bytes
-        self.metrics.sidechain_pruned_bytes = self.ledger.growth.pruned_bytes
+        MetricsFinalizePhase().run(self, None)

@@ -16,6 +16,29 @@ from repro import constants
 _tx_counter = itertools.count(1)
 
 
+def reset_tx_counter(start: int = 1) -> None:
+    """Restart the process-global id counter (fresh-process semantics).
+
+    Transaction ids feed position-id hashes, so a run's exact trajectory
+    depends on the counter state at system construction.  The scenario
+    runner resets it before every grid point so results are independent
+    of what ran earlier in the process (and of which worker runs the
+    point).
+    """
+    global _tx_counter
+    _tx_counter = itertools.count(start)
+
+
+def snapshot_tx_counter() -> int:
+    """Return a value safe to pass to :func:`reset_tx_counter` later.
+
+    Consumes one id (the only way to observe an ``itertools.count``), so
+    the returned value itself is never assigned to a transaction and can
+    be reused as the restart point.
+    """
+    return next(_tx_counter)
+
+
 class TxType(enum.Enum):
     SWAP = "swap"
     MINT = "mint"

@@ -4,16 +4,29 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table5
-    python -m repro.experiments figure5 table12
-    python -m repro.experiments all
+    python -m repro.experiments figure5 table12 --jobs 4
+    python -m repro.experiments all --jobs 8
+    python -m repro.experiments extras
+    python -m repro.experiments table8 --scale 100   # coarser volume scaling
+
+``all`` runs the paper set; ``extras`` the additional scenarios.  With
+``--jobs N`` independent grid points (sweep entries, comparison legs) fan
+out across N worker processes; the rendered tables are bit-identical to a
+serial run.  Scenarios that fail are reported on stderr and the process
+exits non-zero after finishing the rest.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro import experiments
+from repro import experiments  # noqa: F401  (ensures legacy wrappers import)
+from repro import scenarios
+from repro.scenarios.runner import ScenarioError, ScenarioRunner
 
+#: Legacy name -> callable map (kept for downstream imports); the CLI
+#: itself resolves names through the scenario registry.
 RUNNERS = {
     "table2": experiments.run_table2_itemized_gas,
     "table3": experiments.run_table3_uniswap_gas,
@@ -30,23 +43,87 @@ RUNNERS = {
 }
 
 
+def _print_listing() -> None:
+    print(__doc__)
+    print("paper experiments (the `all` set):")
+    for spec in scenarios.specs("paper"):
+        print(f"  {spec.name:<14} {spec.experiment_id}: {spec.title}")
+    print("extra scenarios (the `extras` set):")
+    for spec in scenarios.specs("extra"):
+        print(f"  {spec.name:<14} {spec.title}")
+    print("available experiments:", ", ".join(scenarios.names()))
+
+
+def _expand_names(raw: list[str]) -> list[str]:
+    """Expand ``all``/``extras`` groups and drop duplicates, keeping order."""
+    expanded: list[str] = []
+    for name in raw:
+        if name == "all":
+            expanded.extend(scenarios.names("paper"))
+        elif name == "extras":
+            expanded.extend(scenarios.names("extra"))
+        else:
+            expanded.append(name)
+    return list(dict.fromkeys(expanded))
+
+
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print(__doc__)
-        print("available experiments:", ", ".join(RUNNERS))
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables/figures via the scenario registry.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names, or the groups `all` / `extras` (see `list`)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent grid points (default: 1)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="override the volume scale factor for scaled scenarios",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.names or args.names[0] == "list":
+        _print_listing()
         return 0
-    names = list(RUNNERS) if argv == ["all"] else argv
-    unknown = [n for n in names if n not in RUNNERS]
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    names = _expand_names(args.names)
+    unknown = [n for n in names if not scenarios.is_registered(n)]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print("available:", ", ".join(RUNNERS), file=sys.stderr)
+        print("available:", ", ".join(scenarios.names()), file=sys.stderr)
         return 2
-    for name in names:
-        result = RUNNERS[name]()
-        print(result.render())
-        if result.notes:
-            print(f"notes: {result.notes}")
+
+    specs = [scenarios.get(name) for name in names]
+    runner = ScenarioRunner(jobs=args.jobs, scale=args.scale)
+    failures = 0
+    for spec, outcome in zip(specs, runner.run_many(specs)):
+        if isinstance(outcome, ScenarioError):
+            failures += 1
+            print(f"error: {outcome}", file=sys.stderr)
+            if outcome.details:
+                print(outcome.details.rstrip(), file=sys.stderr)
+            continue
+        print(outcome.render())
+        if outcome.notes:
+            print(f"notes: {outcome.notes}")
         print()
+    if failures:
+        print(
+            f"{failures} of {len(specs)} experiment(s) failed", file=sys.stderr
+        )
+        return 1
     return 0
 
 

@@ -1,71 +1,21 @@
-"""Shared experiment plumbing: result container and volume scaling.
+"""Shared experiment plumbing (compatibility façade).
 
-**Volume scaling.**  The paper's largest runs push 25–50 million daily
-transactions through the sidechain; simulating every one in Python would
-make the benchmark suite take hours.  Scaling divides the daily volume
-*and* the meta-block byte capacity by the same factor, which preserves the
-arrival-rate-to-capacity ratio — and therefore the queueing dynamics in
-rounds, the latencies in seconds, and the congestion crossover — while
-throughput scales exactly linearly (it is capacity-bound) and is reported
-multiplied back.  Gas/chain-growth experiments (Figure 5) run unscaled.
+The result container and volume-scaling helpers moved into the scenario
+engine (:mod:`repro.scenarios.result`, :mod:`repro.scenarios.scaling` —
+see the latter for the scaling rationale); this module re-exports them
+under their historical names.
 """
 
-from __future__ import annotations
+from repro.scenarios.result import ExperimentResult
+from repro.scenarios.scaling import (
+    default_scale,
+    env_scale_boost,
+    scaled_ammboost_config,
+)
 
-import os
-from dataclasses import dataclass, field
-
-from repro import constants
-from repro.core.system import AmmBoostConfig
-from repro.metrics.report import format_table
-
-
-@dataclass
-class ExperimentResult:
-    """Rows of one reproduced table plus free-form notes."""
-
-    experiment_id: str
-    title: str
-    headers: list[str]
-    rows: list[list]
-    paper_reference: dict = field(default_factory=dict)
-    notes: str = ""
-
-    def render(self) -> str:
-        return format_table(f"{self.experiment_id}: {self.title}", self.headers, self.rows)
-
-    def row_dict(self, column: int = 0) -> dict:
-        """Index rows by their first column for easy assertions."""
-        return {row[column]: row for row in self.rows}
-
-
-def default_scale(daily_volume: int) -> int:
-    """A scale factor keeping per-run transaction counts near ~30k."""
-    return max(1, daily_volume // 1_000_000)
-
-
-def env_scale_boost() -> int:
-    """Extra scaling from ``REPRO_FAST`` for quick CI runs."""
-    return 4 if os.environ.get("REPRO_FAST") else 1
-
-
-def scaled_ammboost_config(
-    daily_volume: int,
-    scale: int | None = None,
-    meta_block_size: int = constants.DEFAULT_META_BLOCK_SIZE,
-    **overrides,
-) -> tuple[AmmBoostConfig, int]:
-    """Build a scaled config; returns ``(config, scale)``.
-
-    Throughput measured on the scaled system must be multiplied by
-    ``scale`` before comparing with the paper.
-    """
-    if scale is None:
-        scale = default_scale(daily_volume) * env_scale_boost()
-    scale = max(1, scale)
-    config = AmmBoostConfig(
-        daily_volume=max(1, round(daily_volume / scale)),
-        meta_block_size=max(2_000, round(meta_block_size / scale)),
-        **overrides,
-    )
-    return config, scale
+__all__ = [
+    "ExperimentResult",
+    "default_scale",
+    "env_scale_boost",
+    "scaled_ammboost_config",
+]

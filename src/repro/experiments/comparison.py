@@ -1,169 +1,32 @@
-"""Tables II-IV and Figure 5: itemised costs and the baseline comparison."""
+"""Tables II-IV and Figure 5: itemised costs and the baseline comparison.
+
+Each ``run_*`` function is a thin wrapper building the declarative spec
+(:mod:`repro.scenarios.paper`) and executing it through the serial
+:class:`~repro.scenarios.runner.ScenarioRunner`; use the CLI's ``--jobs``
+(or a runner with ``jobs > 1``) for process-parallel execution.
+"""
 
 from __future__ import annotations
 
 from repro import constants
-from repro.baselines.uniswap_l1 import UniswapL1Baseline, UniswapL1Config
-from repro.core.summary import PayoutEntry, PositionDelta
-from repro.core.system import AmmBoostConfig, AmmBoostSystem
 from repro.experiments.common import ExperimentResult
-from repro.mainchain.gas import keccak_gas
+from repro.scenarios.paper import figure5_spec, table2_spec, table3_spec, table4_spec
+from repro.scenarios.runner import ScenarioRunner
 
 
 def run_table2_itemized_gas(seed: int = 0) -> ExperimentResult:
-    """Table II: itemised Sync gas and mainchain latencies for ammBoost.
-
-    Runs a small deployment, profiles a real Sync transaction's gas
-    breakdown (the role of the paper's gas profiler), and reports the
-    per-component constants alongside the measured mainchain latencies.
-    """
-    config = AmmBoostConfig(
-        committee_size=20,
-        miner_population=40,
-        num_users=30,
-        daily_volume=500_000,
-        rounds_per_epoch=10,
-        seed=seed,
-    )
-    system = AmmBoostSystem(config)
-    metrics = system.run(num_epochs=3)
-
-    sync_txs = [
-        tx
-        for block in system.mainchain.blocks
-        for tx in block.transactions
-        if tx.label == "sync"
-    ]
-    deposit_txs = [
-        tx
-        for block in system.mainchain.blocks
-        for tx in block.transactions
-        if tx.label == "deposit"
-    ]
-    sample = sync_txs[0]
-    payouts = len(sample.args[0].summaries[0].payouts)
-    payout_gas_each = sample.gas_breakdown.get("payout", 0) / max(1, payouts)
-    deposit_latency = sum(
-        tx.latency for tx in deposit_txs if tx.latency is not None
-    ) / max(1, len(deposit_txs))
-    sync_latency = sum(
-        tx.latency for tx in sync_txs if tx.latency is not None
-    ) / max(1, len(sync_txs))
-
-    rows = [
-        ["Sync payout (per entry)", round(payout_gas_each), constants.GAS_PAYOUT_ENTRY],
-        ["Storage (per 32-byte word)", constants.GAS_SSTORE_WORD, constants.GAS_SSTORE_WORD],
-        [
-            "Auth: hash-to-point (keccak+ecMul, 1KB sum)",
-            keccak_gas(1024) + constants.GAS_ECMUL,
-            keccak_gas(1024) + constants.GAS_ECMUL,
-        ],
-        ["Auth: pairing verify", constants.GAS_BLS_PAIRING_CHECK, 113_000],
-        ["Deposit (2 tokens, pipeline)", constants.GAS_DEPOSIT_TWO_TOKENS, 105_392],
-        ["MC latency: Sync (s)", round(sync_latency, 2), constants.LATENCY_SYNC_S],
-        ["MC latency: Deposit (s)", round(deposit_latency, 2), constants.LATENCY_DEPOSIT_S],
-    ]
-    return ExperimentResult(
-        experiment_id="Table II",
-        title="Itemised mainchain gas and latency for ammBoost operations",
-        headers=["component", "measured", "paper"],
-        rows=rows,
-        paper_reference={"payout": 15_771, "storage_word": 22_100, "deposit": 105_392},
-        notes=(
-            f"profiled sync gas breakdown: {sample.gas_breakdown}; "
-            f"total sync gas {sample.gas_used}; "
-            f"{metrics.num_syncs} syncs over the run"
-        ),
-    )
+    """Table II: itemised Sync gas and mainchain latencies for ammBoost."""
+    return ScenarioRunner().run(table2_spec(seed=seed))
 
 
 def run_table3_uniswap_gas(seed: int = 0) -> ExperimentResult:
-    """Table III: per-operation gas and latency for baseline Uniswap.
-
-    Gas values are the measured Sepolia averages (charged by the baseline
-    contracts); latencies are measured on the simulated mainchain with the
-    approval-dependency structure the paper describes (a swap needs one
-    prior approval, a mint two sequential ones).
-    """
-    baseline = UniswapL1Baseline(UniswapL1Config(daily_volume=50_000, seed=seed))
-    chain = baseline.mainchain
-    user = baseline.population.addresses[0]
-    baseline.token0.balances[user] = 10**30
-    baseline.token1.balances[user] = 10**30
-
-    # Bootstrap liquidity so the micro-ops execute.
-    boot = chain.submit_call(
-        "bootstrap-lp", "uniswap:nfpm", "mint", -60000, 60000, 10**22, 10**22,
-        size_bytes=566, label="mint",
-    )
-    chain.produce_blocks_until(chain.clock.now + 24)
-
-    approve_a = chain.submit_call(user, "erc20:TKA", "approve", "uniswap:router", 10**30, size_bytes=120)
-    swap = chain.submit_call(
-        user, "uniswap:router", "exact_input", True, 10**15,
-        size_bytes=365, depends_on=[approve_a], label="swap",
-    )
-    approve_b = chain.submit_call(user, "erc20:TKA", "approve", "uniswap:nfpm", 10**30, size_bytes=120)
-    approve_c = chain.submit_call(
-        user, "erc20:TKB", "approve", "uniswap:nfpm", 10**30,
-        size_bytes=120, depends_on=[approve_b],
-    )
-    mint = chain.submit_call(
-        user, "uniswap:nfpm", "mint", -600, 600, 10**18, 10**18,
-        size_bytes=566, depends_on=[approve_b, approve_c], label="mint",
-    )
-    chain.produce_blocks_until(chain.clock.now + 60)
-    token_id = mint.result[0]
-    collect = chain.submit_call(
-        user, "uniswap:nfpm", "collect", token_id, size_bytes=150, label="collect"
-    )
-    chain.produce_blocks_until(chain.clock.now + 24)
-    # Burns and collects need no fresh approvals, so each is a standalone
-    # single-block operation (the paper's 12.72s / 13.45s latencies).
-    burn = chain.submit_call(
-        user, "uniswap:nfpm", "burn", token_id, size_bytes=280, label="burn"
-    )
-    chain.produce_blocks_until(chain.clock.now + 24)
-
-    rows = [
-        ["Swap", round(swap.gas_used), round(constants.GAS_UNISWAP_SWAP, 2),
-         round(swap.latency or 0, 2), constants.LATENCY_UNISWAP_SWAP_S],
-        ["Mint", round(mint.gas_used), round(constants.GAS_UNISWAP_MINT, 2),
-         round(mint.latency or 0, 2), constants.LATENCY_UNISWAP_MINT_S],
-        ["Burn", round(burn.gas_used), round(constants.GAS_UNISWAP_BURN, 2),
-         round(burn.latency or 0, 2), constants.LATENCY_UNISWAP_BURN_S],
-        ["Collect", round(collect.gas_used), round(constants.GAS_UNISWAP_COLLECT, 2),
-         round(collect.latency or 0, 2), constants.LATENCY_UNISWAP_COLLECT_S],
-    ]
-    assert boot.result is not None
-    return ExperimentResult(
-        experiment_id="Table III",
-        title="Per-operation gas and mainchain latency, baseline Uniswap",
-        headers=["operation", "gas (measured)", "gas (paper)",
-                 "latency s (measured)", "latency s (paper)"],
-        rows=rows,
-    )
+    """Table III: per-operation gas and latency for baseline Uniswap."""
+    return ScenarioRunner().run(table3_spec(seed=seed))
 
 
 def run_table4_storage() -> ExperimentResult:
     """Table IV: per-operation storage (bytes) on both chains."""
-    sepolia = constants.SIZE_UNISWAP_SEPOLIA
-    rows = [
-        ["Payout entry", PayoutEntry.SIZE_MAINCHAIN, PayoutEntry.SIZE_SIDECHAIN],
-        ["Position entry", PositionDelta.SIZE_MAINCHAIN, PositionDelta.SIZE_SIDECHAIN],
-        ["vk_c", constants.SIZE_VKC, "-"],
-        ["Signature", constants.SIZE_BLS_SIGNATURE, "-"],
-        ["Uniswap swap", round(sepolia["swap"], 2), "-"],
-        ["Uniswap mint", round(sepolia["mint"], 2), "-"],
-        ["Uniswap burn", round(sepolia["burn"], 2), "-"],
-        ["Uniswap collect", round(sepolia["collect"], 2), "-"],
-    ]
-    return ExperimentResult(
-        experiment_id="Table IV",
-        title="Operation storage overhead (bytes)",
-        headers=["item", "mainchain B", "sidechain B"],
-        rows=rows,
-    )
+    return ScenarioRunner().run(table4_spec())
 
 
 def run_figure5(
@@ -173,60 +36,13 @@ def run_figure5(
     seed: int = 0,
     committee_size: int = 50,
 ) -> ExperimentResult:
-    """Figure 5: total gas cost and mainchain growth vs baseline Uniswap.
-
-    The paper reports a 96.05% gas reduction and a 93.42% chain-growth
-    reduction against the Sepolia baseline (97.60% growth reduction vs
-    production Ethereum sizes) at 10x Uniswap daily volume.
-    """
-    config = AmmBoostConfig(
-        daily_volume=daily_volume,
-        num_users=num_users,
-        committee_size=committee_size,
-        miner_population=2 * committee_size,
-        seed=seed,
-    )
-    ammboost = AmmBoostSystem(config)
-    amm_metrics = ammboost.run(num_epochs=num_epochs)
-
-    baseline = UniswapL1Baseline(
-        UniswapL1Config(daily_volume=daily_volume, num_users=num_users, seed=seed)
-    )
-    base_metrics = baseline.run(num_epochs=num_epochs)
-
-    # Growth vs production-Ethereum transaction sizes, computed by resizing
-    # the baseline's confirmed transactions (the paper's footnote 6 method).
-    eth_sizes = constants.SIZE_UNISWAP_ETHEREUM
-    eth_growth = 0.0
-    for block in baseline.mainchain.blocks:
-        for tx in block.transactions:
-            if tx.label in eth_sizes:
-                eth_growth += eth_sizes[tx.label]
-
-    gas_reduction = 100 * (1 - amm_metrics.total_gas / base_metrics.total_gas)
-    growth_reduction = 100 * (
-        1 - amm_metrics.mainchain_growth_bytes / base_metrics.mainchain_growth_bytes
-    )
-    eth_growth_reduction = 100 * (
-        1 - amm_metrics.mainchain_growth_bytes / eth_growth
-    )
-
-    rows = [
-        ["Uniswap (Sepolia baseline)", base_metrics.total_gas,
-         base_metrics.mainchain_growth_bytes, "-"],
-        ["ammBoost", amm_metrics.total_gas, amm_metrics.mainchain_growth_bytes, "-"],
-        ["Gas reduction %", round(gas_reduction, 2), "-", 96.05],
-        ["MC growth reduction % (vs Sepolia)", round(growth_reduction, 2), "-", 93.42],
-        ["MC growth reduction % (vs Ethereum)", round(eth_growth_reduction, 2), "-", 97.60],
-    ]
-    return ExperimentResult(
-        experiment_id="Figure 5",
-        title="Gas cost and chain growth: ammBoost vs baseline Uniswap",
-        headers=["row", "gas / %", "mainchain bytes", "paper %"],
-        rows=rows,
-        notes=(
-            f"ammBoost processed {amm_metrics.processed_txs} txs with "
-            f"{amm_metrics.num_syncs} syncs; baseline processed "
-            f"{base_metrics.processed_txs} L1 txs"
-        ),
+    """Figure 5: total gas cost and mainchain growth vs baseline Uniswap."""
+    return ScenarioRunner().run(
+        figure5_spec(
+            daily_volume=daily_volume,
+            num_epochs=num_epochs,
+            num_users=num_users,
+            seed=seed,
+            committee_size=committee_size,
+        )
     )

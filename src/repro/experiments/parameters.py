@@ -1,41 +1,33 @@
-"""Appendix E parameter studies: Tables VIII-XII."""
+"""Appendix E parameter studies (Tables VIII-XII) — thin wrappers over
+the declarative specs in :mod:`repro.scenarios.paper`."""
 
 from __future__ import annotations
 
 from repro import constants
-from repro.core.system import AmmBoostSystem
-from repro.experiments.common import ExperimentResult, scaled_ammboost_config
-from repro.sidechain.timing import AgreementTimeModel
-from repro.workload.distribution import TABLE_XI_MIXES, TrafficDistribution
+from repro.experiments.common import ExperimentResult
+from repro.scenarios.paper import (
+    PAPER_TABLE8,
+    PAPER_TABLE9,
+    PAPER_TABLE10,
+    table8_spec,
+    table9_spec,
+    table10_spec,
+    table11_spec,
+    table12_spec,
+)
+from repro.scenarios.runner import ScenarioRunner
+from repro.workload.distribution import TABLE_XI_MIXES
 
-PAPER_TABLE8 = {
-    500_000: (68.97, 4357.00, 4472.63),
-    1_000_000: (138.61, 1603.01, 1719.10),
-    1_500_000: (207.52, 687.98, 804.05),
-    2_000_000: (276.43, 230.48, 345.44),
-}
-
-PAPER_TABLE9 = {
-    7: (138.06, 231.52, 346.49),
-    11: (92.18, 921.64, 1087.95),
-    16: (61.75, 1950.92, 2193.85),
-    21: (46.31, 2975.90, 3295.11),
-}
-
-PAPER_TABLE10 = {
-    5: (114.27, 517.94, 545.12),
-    10: (128.53, 333.54, 337.86),
-    20: (135.90, 255.57, 334.81),
-    30: (138.06, 231.52, 346.49),
-    60: (140.66, 208.96, 434.94),
-    96: (141.53, 199.55, 546.04),
-}
-
-
-def _run_one(config, scale, num_epochs):
-    system = AmmBoostSystem(config)
-    metrics = system.run(num_epochs=num_epochs)
-    return system, metrics, round(metrics.throughput * scale, 2)
+__all__ = [
+    "PAPER_TABLE8",
+    "PAPER_TABLE9",
+    "PAPER_TABLE10",
+    "run_table8_block_size",
+    "run_table9_round_duration",
+    "run_table10_epoch_length",
+    "run_table11_traffic_mix",
+    "run_table12_committee_size",
+]
 
 
 def run_table8_block_size(
@@ -45,35 +37,13 @@ def run_table8_block_size(
     seed: int = 0,
 ) -> ExperimentResult:
     """Table VIII: throughput/latency vs sidechain block size at 1000x."""
-    rows = []
-    for block_size in block_sizes:
-        config, scale = scaled_ammboost_config(
-            daily_volume,
-            meta_block_size=block_size,
+    return ScenarioRunner().run(
+        table8_spec(
+            block_sizes=block_sizes,
+            daily_volume=daily_volume,
+            num_epochs=num_epochs,
             seed=seed,
-            committee_size=50,
-            miner_population=100,
         )
-        _, metrics, tput = _run_one(config, scale, num_epochs)
-        paper = PAPER_TABLE8.get(block_size, ("-", "-", "-"))
-        rows.append(
-            [
-                f"{block_size / 1e6:g} MB",
-                tput,
-                paper[0],
-                round(metrics.sidechain_latency.mean, 2),
-                paper[1],
-                round(metrics.payout_latency.mean, 2),
-                paper[2],
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table VIII",
-        title="Impact of sidechain block size (V_D = 50M)",
-        headers=["block size", "tput tx/s", "paper", "sc lat s", "paper",
-                 "payout lat s", "paper"],
-        rows=rows,
-        notes="throughput scales linearly with block size; latency falls sharply",
     )
 
 
@@ -84,34 +54,13 @@ def run_table9_round_duration(
     seed: int = 0,
 ) -> ExperimentResult:
     """Table IX: throughput/latency vs sidechain round duration."""
-    rows = []
-    for duration in durations:
-        config, scale = scaled_ammboost_config(
-            daily_volume,
+    return ScenarioRunner().run(
+        table9_spec(
+            durations=durations,
+            daily_volume=daily_volume,
+            num_epochs=num_epochs,
             seed=seed,
-            round_duration=float(duration),
-            committee_size=50,
-            miner_population=100,
         )
-        _, metrics, tput = _run_one(config, scale, num_epochs)
-        paper = PAPER_TABLE9.get(duration, ("-", "-", "-"))
-        rows.append(
-            [
-                f"{duration} s",
-                tput,
-                paper[0],
-                round(metrics.sidechain_latency.mean, 2),
-                paper[1],
-                round(metrics.payout_latency.mean, 2),
-                paper[2],
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table IX",
-        title="Impact of sidechain round duration (V_D = 25M)",
-        headers=["round", "tput tx/s", "paper", "sc lat s", "paper",
-                 "payout lat s", "paper"],
-        rows=rows,
     )
 
 
@@ -123,42 +72,14 @@ def run_table10_epoch_length(
 ) -> ExperimentResult:
     """Table X: throughput/latency vs rounds per epoch.
 
-    The last round of each epoch mines the summary-block rather than a
-    meta-block, so effective capacity is ``(omega - 1) / omega`` of the
-    per-round capacity — short epochs visibly hurt throughput, exactly the
-    Table X shape.  Longer epochs delay payouts.
+    ``num_epochs`` is accepted for signature compatibility but unused:
+    the experiment holds total traffic *time* constant across epoch
+    lengths (11 default epochs of 30 rounds = 330 rounds), as the paper
+    does.
     """
-    rows = []
-    for omega in epoch_lengths:
-        config, scale = scaled_ammboost_config(
-            daily_volume,
-            seed=seed,
-            rounds_per_epoch=omega,
-            committee_size=50,
-            miner_population=100,
-        )
-        # Hold total traffic time constant across epoch lengths, as the
-        # paper does (11 default epochs = 330 rounds).
-        epochs = max(1, round(constants.DEFAULT_NUM_EPOCHS * 30 / omega))
-        _, metrics, tput = _run_one(config, scale, epochs)
-        paper = PAPER_TABLE10.get(omega, ("-", "-", "-"))
-        rows.append(
-            [
-                omega,
-                tput,
-                paper[0],
-                round(metrics.sidechain_latency.mean, 2),
-                paper[1],
-                round(metrics.payout_latency.mean, 2),
-                paper[2],
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table X",
-        title="Impact of rounds per epoch (V_D = 25M)",
-        headers=["epoch len", "tput tx/s", "paper", "sc lat s", "paper",
-                 "payout lat s", "paper"],
-        rows=rows,
+    del num_epochs
+    return ScenarioRunner().run(
+        table10_spec(epoch_lengths=epoch_lengths, daily_volume=daily_volume, seed=seed)
     )
 
 
@@ -169,66 +90,15 @@ def run_table11_traffic_mix(
     seed: int = 0,
 ) -> ExperimentResult:
     """Table XI: impact of the traffic distribution."""
-    rows = []
-    for mix in mixes:
-        distribution = TrafficDistribution.from_percentages(*mix)
-        config, scale = scaled_ammboost_config(
-            daily_volume,
-            seed=seed,
-            committee_size=50,
-            miner_population=100,
+    return ScenarioRunner().run(
+        table11_spec(
+            mixes=mixes, daily_volume=daily_volume, num_epochs=num_epochs, seed=seed
         )
-        system = AmmBoostSystem(config, distribution=distribution)
-        metrics = system.run(num_epochs=num_epochs)
-        rows.append(
-            [
-                f"{mix[0]}/{mix[1]}/{mix[2]}/{mix[3]}",
-                round(metrics.throughput * scale, 2),
-                round(metrics.sidechain_latency.mean, 2),
-                round(metrics.payout_latency.mean, 2),
-                system.ledger.max_live_bytes,
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table XI",
-        title="Impact of traffic distribution (swap/mint/burn/collect %)",
-        headers=["mix", "tput tx/s", "sc lat s", "payout lat s", "max sc B"],
-        rows=rows,
-        notes=(
-            "metrics stay close across mixes because transaction sizes are "
-            "similar (paper's observation); max sidechain growth is bounded "
-            "by users and positions, not volume"
-        ),
     )
 
 
 def run_table12_committee_size(
     sizes=(100, 250, 500, 750, 1000),
 ) -> ExperimentResult:
-    """Table XII: PBFT agreement time vs committee size.
-
-    Reports the calibrated model's predictions against the paper's
-    measurements (the model is fitted to these points; the bench checks
-    the fit quality and monotonicity, and the message-level engine is
-    timed at small scales in the test suite).
-    """
-    model = AgreementTimeModel()
-    rows = []
-    for size in sizes:
-        predicted = model.agreement_time(size)
-        paper = constants.AGREEMENT_TIME_BY_COMMITTEE.get(size, float("nan"))
-        rows.append(
-            [
-                size,
-                round(predicted, 2),
-                paper,
-                round(model.min_round_duration(size), 1),
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table XII",
-        title="PBFT agreement time vs committee size",
-        headers=["committee", "model s", "paper s", "min round s"],
-        rows=rows,
-        notes=f"quadratic fit t = {model.a:.3e} c^2 + {model.b:.3e} c",
-    )
+    """Table XII: PBFT agreement time vs committee size."""
+    return ScenarioRunner().run(table12_spec(sizes=sizes))

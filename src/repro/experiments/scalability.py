@@ -1,19 +1,14 @@
-"""Table V (scalability) and Table VI (rollup comparison)."""
+"""Table V (scalability) and Table VI (rollup comparison) — thin wrappers
+over the declarative specs in :mod:`repro.scenarios.paper`."""
 
 from __future__ import annotations
 
 from repro import constants
-from repro.baselines.ammop import AmmOpConfig, AmmOpRollup
-from repro.core.system import AmmBoostSystem
-from repro.experiments.common import ExperimentResult, scaled_ammboost_config
+from repro.experiments.common import ExperimentResult
+from repro.scenarios.paper import PAPER_TABLE5, table5_spec, table6_spec
+from repro.scenarios.runner import ScenarioRunner
 
-#: Paper rows for Table V.
-PAPER_TABLE5 = {
-    50_000: (0.42, 7.13, 120.71),
-    500_000: (3.41, 7.13, 120.71),
-    5_000_000: (33.04, 7.13, 120.71),
-    25_000_000: (138.06, 231.52, 346.49),
-}
+__all__ = ["PAPER_TABLE5", "run_table5_scalability", "run_table6_rollup"]
 
 
 def run_table5_scalability(
@@ -22,45 +17,8 @@ def run_table5_scalability(
     seed: int = 0,
 ) -> ExperimentResult:
     """Table V: throughput and latency vs daily volume (1x-500x Uniswap)."""
-    rows = []
-    for volume in volumes:
-        config, scale = scaled_ammboost_config(
-            volume,
-            seed=seed,
-            committee_size=50,
-            miner_population=100,
-        )
-        system = AmmBoostSystem(config)
-        metrics = system.run(num_epochs=num_epochs)
-        paper = PAPER_TABLE5.get(volume, ("-", "-", "-"))
-        rows.append(
-            [
-                f"{volume:,}",
-                round(metrics.throughput * scale, 2),
-                paper[0],
-                round(metrics.sidechain_latency.mean, 2),
-                paper[1],
-                round(metrics.payout_latency.mean, 2),
-                paper[2],
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table V",
-        title="Scalability of ammBoost",
-        headers=[
-            "daily volume",
-            "tput tx/s",
-            "paper",
-            "sc lat s",
-            "paper",
-            "payout lat s",
-            "paper",
-        ],
-        rows=rows,
-        notes=(
-            "throughput is capacity-bound at high volume "
-            "(~1MB/round x 29/30 meta rounds / 7s ~ 138 tx/s)"
-        ),
+    return ScenarioRunner().run(
+        table5_spec(volumes=volumes, num_epochs=num_epochs, seed=seed)
     )
 
 
@@ -70,48 +28,6 @@ def run_table6_rollup(
     seed: int = 0,
 ) -> ExperimentResult:
     """Table VI: ammBoost vs the Optimism-inspired ammOP."""
-    config, scale = scaled_ammboost_config(
-        daily_volume, seed=seed, committee_size=50, miner_population=100
-    )
-    system = AmmBoostSystem(config)
-    amm = system.run(num_epochs=num_epochs)
-
-    op_config = AmmOpConfig(
-        daily_volume=config.daily_volume,
-        batch_size_bytes=max(
-            2_000, round(constants.AMMOP_BATCH_SIZE / scale)
-        ),
-        seed=seed,
-    )
-    rollup = AmmOpRollup(op_config)
-    op = rollup.run(num_epochs=num_epochs)
-
-    rows = [
-        ["ammOP", round(op.throughput * scale, 2), 51.16,
-         round(op.sidechain_latency.mean, 2), 2577.28,
-         round(op.payout_latency.mean, 2), 604_815.28],
-        ["ammBoost", round(amm.throughput * scale, 2), 138.06,
-         round(amm.sidechain_latency.mean, 2), 231.52,
-         round(amm.payout_latency.mean, 2), 346.49],
-    ]
-    finality_reduction = 100 * (
-        1 - amm.payout_latency.mean / op.payout_latency.mean
-    )
-    return ExperimentResult(
-        experiment_id="Table VI",
-        title="ammBoost vs Optimism-inspired rollup (ammOP)",
-        headers=[
-            "system",
-            "tput tx/s",
-            "paper",
-            "tx lat s",
-            "paper",
-            "payout lat s",
-            "paper",
-        ],
-        rows=rows,
-        notes=(
-            f"transaction-finality reduction {finality_reduction:.2f}% "
-            "(paper: 99.94%)"
-        ),
+    return ScenarioRunner().run(
+        table6_spec(daily_volume=daily_volume, num_epochs=num_epochs, seed=seed)
     )

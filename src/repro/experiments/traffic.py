@@ -1,4 +1,5 @@
-"""Table VII: Uniswap 2023 traffic analysis (Appendix D).
+"""Table VII: Uniswap 2023 traffic analysis (Appendix D) — thin wrapper
+over the declarative spec in :mod:`repro.scenarios.paper`.
 
 The paper derived the distribution from Dune Analytics and an Ethereum
 node; without network access the numbers live in :mod:`repro.constants`
@@ -8,55 +9,13 @@ synthetic trace must reproduce the configured frequencies and sizes.
 
 from __future__ import annotations
 
-from repro import constants
 from repro.experiments.common import ExperimentResult
-from repro.simulation.rng import DeterministicRng
-from repro.workload.distribution import TrafficDistribution
-from repro.workload.generator import TrafficGenerator
-from repro.workload.users import UserPopulation
+from repro.scenarios.paper import table7_spec
+from repro.scenarios.runner import ScenarioRunner
 
 
 def run_table7_traffic_analysis(
     sample_size: int = 100_000, seed: int = 0
 ) -> ExperimentResult:
     """Generate a trace and report measured type frequencies and sizes."""
-    population = UserPopulation(100, seed=seed)
-    generator = TrafficGenerator(
-        population=population,
-        distribution=TrafficDistribution.uniswap_2023(),
-        rng=DeterministicRng(seed).child("traffic-analysis"),
-    )
-    # Give every user a position so burns/collects need no substitution.
-    for i, user in enumerate(population.users):
-        user.positions.add(f"seed-position-{i}")
-
-    counts: dict[str, int] = {"swap": 0, "mint": 0, "burn": 0, "collect": 0}
-    sizes: dict[str, int] = {"swap": 0, "mint": 0, "burn": 0, "collect": 0}
-    txs = generator.generate_round(sample_size, submitted_at=0.0)
-    for tx in txs:
-        name = type(tx).txtype.value
-        counts[name] += 1
-        sizes[name] += tx.size_bytes
-
-    rows = []
-    for name in ("swap", "mint", "burn", "collect"):
-        measured_pct = 100 * counts[name] / sample_size
-        paper_pct = 100 * constants.TRAFFIC_DISTRIBUTION[name]
-        avg_size = sizes[name] / max(1, counts[name])
-        rows.append(
-            [
-                name,
-                round(measured_pct, 2),
-                round(paper_pct, 2),
-                constants.TRAFFIC_DAILY_VOLUME[name],
-                round(avg_size, 2),
-                constants.SIZE_UNISWAP_ETHEREUM[name],
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="Table VII",
-        title="Transaction type breakdown, Uniswap 2023 traffic",
-        headers=["type", "measured %", "paper %", "paper vol/24h",
-                 "measured avg B", "paper avg B"],
-        rows=rows,
-    )
+    return ScenarioRunner().run(table7_spec(sample_size=sample_size, seed=seed))

@@ -10,6 +10,19 @@ from typing import Any
 _tx_counter = itertools.count(1)
 
 
+def reset_tx_counter(start: int = 1) -> None:
+    """Restart the process-global id counter (fresh-process semantics);
+    see :func:`repro.core.transactions.reset_tx_counter`."""
+    global _tx_counter
+    _tx_counter = itertools.count(start)
+
+
+def snapshot_tx_counter() -> int:
+    """Return a restart point for :func:`reset_tx_counter` (consumes one
+    id); see :func:`repro.core.transactions.snapshot_tx_counter`."""
+    return next(_tx_counter)
+
+
 class TxStatus(enum.Enum):
     """Lifecycle of a mainchain transaction."""
 

@@ -57,6 +57,9 @@ class MetricsCollector:
     sidechain_pruned_bytes: int = 0
     num_syncs: int = 0
     num_deposits: int = 0
+    #: Deepest the transaction queue ever got (post-ingest, pre-mining) —
+    #: the congestion signal for bursty/diurnal arrival scenarios.
+    peak_queue_depth: int = 0
 
     @property
     def throughput(self) -> float:

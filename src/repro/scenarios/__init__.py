@@ -1,0 +1,52 @@
+"""The scenario engine: declarative experiments over the ammBoost stack.
+
+Every paper table/figure — and every extra workload — is a
+:class:`~repro.scenarios.spec.ScenarioSpec`: a grid of independent
+parameter points, a point function, and a finaliser.  Specs live in a
+registry (:mod:`repro.scenarios.registry`) the CLI resolves names
+against, and run through the :class:`~repro.scenarios.runner.ScenarioRunner`,
+which fans grid points across worker processes with bit-identical output
+to a serial run.  See ``src/repro/scenarios/README.md`` for how to
+register a new scenario.
+"""
+
+from repro.scenarios import extra, paper, registry
+from repro.scenarios.registry import (
+    get,
+    is_registered,
+    names,
+    register,
+    specs,
+    unregister,
+)
+from repro.scenarios.result import ExperimentResult
+from repro.scenarios.runner import ScenarioError, ScenarioRunner
+from repro.scenarios.scaling import default_scale, env_scale_boost, scaled_ammboost_config
+from repro.scenarios.spec import ScenarioSpec, default_finalize
+
+
+def _register_builtin() -> None:
+    for builder in paper.PAPER_SPEC_BUILDERS + extra.EXTRA_SPEC_BUILDERS:
+        spec = builder()
+        if not registry.is_registered(spec.name):
+            registry.register(spec)
+
+
+_register_builtin()
+
+__all__ = [
+    "ExperimentResult",
+    "ScenarioError",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "default_finalize",
+    "default_scale",
+    "env_scale_boost",
+    "get",
+    "is_registered",
+    "names",
+    "register",
+    "scaled_ammboost_config",
+    "specs",
+    "unregister",
+]

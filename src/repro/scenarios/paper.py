@@ -1,0 +1,811 @@
+"""The paper's evaluation (Tables II–XII, Figure 5) as declarative scenarios.
+
+Each table/figure is a :class:`~repro.scenarios.spec.ScenarioSpec`: a grid
+of independent parameter points, a module-level point function, and (where
+rows must be combined — Figure 5's two legs, Table VI's finality note) a
+custom finaliser.  The legacy ``repro.experiments.run_table*`` functions
+are thin wrappers over the spec builders here.
+
+Fidelity vs the pre-scenario-engine code: single-run tables (II, III,
+IV, VII, XII) and the *first* point of every sweep are byte-identical to
+the monolith run in a fresh process.  Later sweep points can shift in
+the 4th significant digit: the monolith let point N inherit the
+process-global transaction-id counter from point N-1 (so its output
+depended on process history — ``table9`` alone vs after ``table8``
+differed), whereas the runner gives every point fresh-process semantics,
+which is also what makes ``--jobs N`` output equal to serial.  Paper
+columns and every shape assertion are unaffected.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.baselines.ammop import AmmOpConfig, AmmOpRollup
+from repro.baselines.uniswap_l1 import UniswapL1Baseline, UniswapL1Config
+from repro.core.summary import PayoutEntry, PositionDelta
+from repro.core.system import AmmBoostConfig, AmmBoostSystem
+from repro.mainchain.gas import keccak_gas
+from repro.scenarios.result import ExperimentResult
+from repro.scenarios.scaling import scaled_ammboost_config
+from repro.scenarios.spec import ScenarioSpec
+from repro.sidechain.timing import AgreementTimeModel
+from repro.simulation.rng import DeterministicRng
+from repro.workload.distribution import TABLE_XI_MIXES, TrafficDistribution
+from repro.workload.generator import TrafficGenerator
+from repro.workload.users import UserPopulation
+
+# ---------------------------------------------------------------------------
+# Table II — itemised Sync gas and mainchain latencies
+# ---------------------------------------------------------------------------
+
+
+def table2_point(params) -> dict:
+    """Run a small deployment and profile a real Sync transaction."""
+    config = AmmBoostConfig(
+        committee_size=20,
+        miner_population=40,
+        num_users=30,
+        daily_volume=500_000,
+        rounds_per_epoch=10,
+        seed=params["seed"],
+    )
+    system = AmmBoostSystem(config)
+    metrics = system.run(num_epochs=3)
+
+    sync_txs = [
+        tx
+        for block in system.mainchain.blocks
+        for tx in block.transactions
+        if tx.label == "sync"
+    ]
+    deposit_txs = [
+        tx
+        for block in system.mainchain.blocks
+        for tx in block.transactions
+        if tx.label == "deposit"
+    ]
+    sample = sync_txs[0]
+    payouts = len(sample.args[0].summaries[0].payouts)
+    payout_gas_each = sample.gas_breakdown.get("payout", 0) / max(1, payouts)
+    deposit_latency = sum(
+        tx.latency for tx in deposit_txs if tx.latency is not None
+    ) / max(1, len(deposit_txs))
+    sync_latency = sum(
+        tx.latency for tx in sync_txs if tx.latency is not None
+    ) / max(1, len(sync_txs))
+
+    rows = [
+        ["Sync payout (per entry)", round(payout_gas_each), constants.GAS_PAYOUT_ENTRY],
+        ["Storage (per 32-byte word)", constants.GAS_SSTORE_WORD, constants.GAS_SSTORE_WORD],
+        [
+            "Auth: hash-to-point (keccak+ecMul, 1KB sum)",
+            keccak_gas(1024) + constants.GAS_ECMUL,
+            keccak_gas(1024) + constants.GAS_ECMUL,
+        ],
+        ["Auth: pairing verify", constants.GAS_BLS_PAIRING_CHECK, 113_000],
+        ["Deposit (2 tokens, pipeline)", constants.GAS_DEPOSIT_TWO_TOKENS, 105_392],
+        ["MC latency: Sync (s)", round(sync_latency, 2), constants.LATENCY_SYNC_S],
+        ["MC latency: Deposit (s)", round(deposit_latency, 2), constants.LATENCY_DEPOSIT_S],
+    ]
+    return {
+        "rows": rows,
+        "notes": (
+            f"profiled sync gas breakdown: {sample.gas_breakdown}; "
+            f"total sync gas {sample.gas_used}; "
+            f"{metrics.num_syncs} syncs over the run"
+        ),
+    }
+
+
+def table2_spec(seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table2",
+        experiment_id="Table II",
+        title="Itemised mainchain gas and latency for ammBoost operations",
+        headers=("component", "measured", "paper"),
+        grid=({"seed": seed},),
+        point=table2_point,
+        description="profile a real Sync transaction's gas breakdown",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table III — baseline Uniswap per-operation gas and latency
+# ---------------------------------------------------------------------------
+
+
+def table3_point(params) -> dict:
+    """Micro-ops on the simulated mainchain with approval dependencies."""
+    baseline = UniswapL1Baseline(
+        UniswapL1Config(daily_volume=50_000, seed=params["seed"])
+    )
+    chain = baseline.mainchain
+    user = baseline.population.addresses[0]
+    baseline.token0.balances[user] = 10**30
+    baseline.token1.balances[user] = 10**30
+
+    # Bootstrap liquidity so the micro-ops execute.
+    boot = chain.submit_call(
+        "bootstrap-lp", "uniswap:nfpm", "mint", -60000, 60000, 10**22, 10**22,
+        size_bytes=566, label="mint",
+    )
+    chain.produce_blocks_until(chain.clock.now + 24)
+
+    approve_a = chain.submit_call(user, "erc20:TKA", "approve", "uniswap:router", 10**30, size_bytes=120)
+    swap = chain.submit_call(
+        user, "uniswap:router", "exact_input", True, 10**15,
+        size_bytes=365, depends_on=[approve_a], label="swap",
+    )
+    approve_b = chain.submit_call(user, "erc20:TKA", "approve", "uniswap:nfpm", 10**30, size_bytes=120)
+    approve_c = chain.submit_call(
+        user, "erc20:TKB", "approve", "uniswap:nfpm", 10**30,
+        size_bytes=120, depends_on=[approve_b],
+    )
+    mint = chain.submit_call(
+        user, "uniswap:nfpm", "mint", -600, 600, 10**18, 10**18,
+        size_bytes=566, depends_on=[approve_b, approve_c], label="mint",
+    )
+    chain.produce_blocks_until(chain.clock.now + 60)
+    token_id = mint.result[0]
+    collect = chain.submit_call(
+        user, "uniswap:nfpm", "collect", token_id, size_bytes=150, label="collect"
+    )
+    chain.produce_blocks_until(chain.clock.now + 24)
+    # Burns and collects need no fresh approvals, so each is a standalone
+    # single-block operation (the paper's 12.72s / 13.45s latencies).
+    burn = chain.submit_call(
+        user, "uniswap:nfpm", "burn", token_id, size_bytes=280, label="burn"
+    )
+    chain.produce_blocks_until(chain.clock.now + 24)
+    assert boot.result is not None
+
+    rows = [
+        ["Swap", round(swap.gas_used), round(constants.GAS_UNISWAP_SWAP, 2),
+         round(swap.latency or 0, 2), constants.LATENCY_UNISWAP_SWAP_S],
+        ["Mint", round(mint.gas_used), round(constants.GAS_UNISWAP_MINT, 2),
+         round(mint.latency or 0, 2), constants.LATENCY_UNISWAP_MINT_S],
+        ["Burn", round(burn.gas_used), round(constants.GAS_UNISWAP_BURN, 2),
+         round(burn.latency or 0, 2), constants.LATENCY_UNISWAP_BURN_S],
+        ["Collect", round(collect.gas_used), round(constants.GAS_UNISWAP_COLLECT, 2),
+         round(collect.latency or 0, 2), constants.LATENCY_UNISWAP_COLLECT_S],
+    ]
+    return {"rows": rows}
+
+
+def table3_spec(seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table3",
+        experiment_id="Table III",
+        title="Per-operation gas and mainchain latency, baseline Uniswap",
+        headers=("operation", "gas (measured)", "gas (paper)",
+                 "latency s (measured)", "latency s (paper)"),
+        grid=({"seed": seed},),
+        point=table3_point,
+        description="measured Sepolia gas + simulated approval-chain latency",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — per-operation storage
+# ---------------------------------------------------------------------------
+
+
+def table4_point(params) -> dict:
+    sepolia = constants.SIZE_UNISWAP_SEPOLIA
+    rows = [
+        ["Payout entry", PayoutEntry.SIZE_MAINCHAIN, PayoutEntry.SIZE_SIDECHAIN],
+        ["Position entry", PositionDelta.SIZE_MAINCHAIN, PositionDelta.SIZE_SIDECHAIN],
+        ["vk_c", constants.SIZE_VKC, "-"],
+        ["Signature", constants.SIZE_BLS_SIGNATURE, "-"],
+        ["Uniswap swap", round(sepolia["swap"], 2), "-"],
+        ["Uniswap mint", round(sepolia["mint"], 2), "-"],
+        ["Uniswap burn", round(sepolia["burn"], 2), "-"],
+        ["Uniswap collect", round(sepolia["collect"], 2), "-"],
+    ]
+    return {"rows": rows}
+
+
+def table4_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table4",
+        experiment_id="Table IV",
+        title="Operation storage overhead (bytes)",
+        headers=("item", "mainchain B", "sidechain B"),
+        grid=({},),
+        point=table4_point,
+        description="constant storage sizes on both chains",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — gas cost and chain growth vs baseline Uniswap
+# ---------------------------------------------------------------------------
+
+
+def figure5_point(params) -> dict:
+    """One leg of the comparison: ammBoost or the L1 baseline."""
+    if params["leg"] == "ammboost":
+        config = AmmBoostConfig(
+            daily_volume=params["daily_volume"],
+            num_users=params["num_users"],
+            committee_size=params["committee_size"],
+            miner_population=2 * params["committee_size"],
+            seed=params["seed"],
+        )
+        metrics = AmmBoostSystem(config).run(num_epochs=params["num_epochs"])
+        return {
+            "rows": [],
+            "leg": "ammboost",
+            "total_gas": metrics.total_gas,
+            "growth_bytes": metrics.mainchain_growth_bytes,
+            "processed_txs": metrics.processed_txs,
+            "num_syncs": metrics.num_syncs,
+        }
+
+    baseline = UniswapL1Baseline(
+        UniswapL1Config(
+            daily_volume=params["daily_volume"],
+            num_users=params["num_users"],
+            seed=params["seed"],
+        )
+    )
+    metrics = baseline.run(num_epochs=params["num_epochs"])
+    # Growth vs production-Ethereum transaction sizes, computed by resizing
+    # the baseline's confirmed transactions (the paper's footnote 6 method).
+    eth_sizes = constants.SIZE_UNISWAP_ETHEREUM
+    eth_growth = 0.0
+    for block in baseline.mainchain.blocks:
+        for tx in block.transactions:
+            if tx.label in eth_sizes:
+                eth_growth += eth_sizes[tx.label]
+    return {
+        "rows": [],
+        "leg": "baseline",
+        "total_gas": metrics.total_gas,
+        "growth_bytes": metrics.mainchain_growth_bytes,
+        "processed_txs": metrics.processed_txs,
+        "eth_growth": eth_growth,
+    }
+
+
+def figure5_finalize(spec, results) -> ExperimentResult:
+    by_leg = {res["leg"]: res for res in results}
+    amm, base = by_leg["ammboost"], by_leg["baseline"]
+    gas_reduction = 100 * (1 - amm["total_gas"] / base["total_gas"])
+    growth_reduction = 100 * (1 - amm["growth_bytes"] / base["growth_bytes"])
+    eth_growth_reduction = 100 * (1 - amm["growth_bytes"] / base["eth_growth"])
+    rows = [
+        ["Uniswap (Sepolia baseline)", base["total_gas"], base["growth_bytes"], "-"],
+        ["ammBoost", amm["total_gas"], amm["growth_bytes"], "-"],
+        ["Gas reduction %", round(gas_reduction, 2), "-", 96.05],
+        ["MC growth reduction % (vs Sepolia)", round(growth_reduction, 2), "-", 93.42],
+        ["MC growth reduction % (vs Ethereum)", round(eth_growth_reduction, 2), "-", 97.60],
+    ]
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        headers=list(spec.headers),
+        rows=rows,
+        notes=(
+            f"ammBoost processed {amm['processed_txs']} txs with "
+            f"{amm['num_syncs']} syncs; baseline processed "
+            f"{base['processed_txs']} L1 txs"
+        ),
+    )
+
+
+def figure5_spec(
+    daily_volume: int = 500_000,
+    num_epochs: int = constants.DEFAULT_NUM_EPOCHS,
+    num_users: int = constants.DEFAULT_NUM_USERS,
+    seed: int = 0,
+    committee_size: int = 50,
+) -> ScenarioSpec:
+    shared = dict(
+        daily_volume=daily_volume,
+        num_epochs=num_epochs,
+        num_users=num_users,
+        seed=seed,
+        committee_size=committee_size,
+    )
+    return ScenarioSpec(
+        name="figure5",
+        experiment_id="Figure 5",
+        title="Gas cost and chain growth: ammBoost vs baseline Uniswap",
+        headers=("row", "gas / %", "mainchain bytes", "paper %"),
+        grid=({"leg": "ammboost", **shared}, {"leg": "baseline", **shared}),
+        point=figure5_point,
+        finalize=figure5_finalize,
+        description="total gas + chain growth, both legs run in parallel",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — scalability
+# ---------------------------------------------------------------------------
+
+#: Paper rows for Table V.
+PAPER_TABLE5 = {
+    50_000: (0.42, 7.13, 120.71),
+    500_000: (3.41, 7.13, 120.71),
+    5_000_000: (33.04, 7.13, 120.71),
+    25_000_000: (138.06, 231.52, 346.49),
+}
+
+
+def table5_point(params) -> dict:
+    volume = params["volume"]
+    config, scale = scaled_ammboost_config(
+        volume,
+        scale=params.get("scale"),
+        seed=params["seed"],
+        committee_size=50,
+        miner_population=100,
+    )
+    metrics = AmmBoostSystem(config).run(num_epochs=params["num_epochs"])
+    paper = PAPER_TABLE5.get(volume, ("-", "-", "-"))
+    row = [
+        f"{volume:,}",
+        round(metrics.throughput * scale, 2),
+        paper[0],
+        round(metrics.sidechain_latency.mean, 2),
+        paper[1],
+        round(metrics.payout_latency.mean, 2),
+        paper[2],
+    ]
+    return {"rows": [row]}
+
+
+def table5_spec(
+    volumes: tuple[int, ...] = (50_000, 500_000, 5_000_000, 25_000_000),
+    num_epochs: int = constants.DEFAULT_NUM_EPOCHS,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table5",
+        experiment_id="Table V",
+        title="Scalability of ammBoost",
+        headers=("daily volume", "tput tx/s", "paper", "sc lat s", "paper",
+                 "payout lat s", "paper"),
+        grid=tuple(
+            {"volume": volume, "num_epochs": num_epochs, "seed": seed}
+            for volume in volumes
+        ),
+        point=table5_point,
+        notes=(
+            "throughput is capacity-bound at high volume "
+            "(~1MB/round x 29/30 meta rounds / 7s ~ 138 tx/s)"
+        ),
+        accepts_scale=True,
+        description="throughput/latency vs daily volume (1x-500x Uniswap)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VI — ammBoost vs the Optimism-inspired ammOP rollup
+# ---------------------------------------------------------------------------
+
+
+def table6_point(params) -> dict:
+    config, scale = scaled_ammboost_config(
+        params["daily_volume"],
+        scale=params.get("scale"),
+        seed=params["seed"],
+        committee_size=50,
+        miner_population=100,
+    )
+    if params["leg"] == "ammboost":
+        metrics = AmmBoostSystem(config).run(num_epochs=params["num_epochs"])
+        row = ["ammBoost", round(metrics.throughput * scale, 2), 138.06,
+               round(metrics.sidechain_latency.mean, 2), 231.52,
+               round(metrics.payout_latency.mean, 2), 346.49]
+    else:
+        op_config = AmmOpConfig(
+            daily_volume=config.daily_volume,
+            batch_size_bytes=max(2_000, round(constants.AMMOP_BATCH_SIZE / scale)),
+            seed=params["seed"],
+        )
+        metrics = AmmOpRollup(op_config).run(num_epochs=params["num_epochs"])
+        row = ["ammOP", round(metrics.throughput * scale, 2), 51.16,
+               round(metrics.sidechain_latency.mean, 2), 2577.28,
+               round(metrics.payout_latency.mean, 2), 604_815.28]
+    return {
+        "rows": [row],
+        "leg": params["leg"],
+        "payout_latency_mean": metrics.payout_latency.mean,
+    }
+
+
+def table6_finalize(spec, results) -> ExperimentResult:
+    by_leg = {res["leg"]: res for res in results}
+    rows = [row for res in results for row in res["rows"]]
+    finality_reduction = 100 * (
+        1
+        - by_leg["ammboost"]["payout_latency_mean"]
+        / by_leg["ammop"]["payout_latency_mean"]
+    )
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        headers=list(spec.headers),
+        rows=rows,
+        notes=(
+            f"transaction-finality reduction {finality_reduction:.2f}% "
+            "(paper: 99.94%)"
+        ),
+    )
+
+
+def table6_spec(
+    daily_volume: int = constants.DEFAULT_DAILY_VOLUME,
+    num_epochs: int = constants.DEFAULT_NUM_EPOCHS,
+    seed: int = 0,
+) -> ScenarioSpec:
+    shared = dict(daily_volume=daily_volume, num_epochs=num_epochs, seed=seed)
+    return ScenarioSpec(
+        name="table6",
+        experiment_id="Table VI",
+        title="ammBoost vs Optimism-inspired rollup (ammOP)",
+        headers=("system", "tput tx/s", "paper", "tx lat s", "paper",
+                 "payout lat s", "paper"),
+        grid=({"leg": "ammop", **shared}, {"leg": "ammboost", **shared}),
+        point=table6_point,
+        finalize=table6_finalize,
+        accepts_scale=True,
+        description="head-to-head with the optimistic-rollup baseline",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VII — traffic analysis (generator validation)
+# ---------------------------------------------------------------------------
+
+
+def table7_point(params) -> dict:
+    sample_size, seed = params["sample_size"], params["seed"]
+    population = UserPopulation(100, seed=seed)
+    generator = TrafficGenerator(
+        population=population,
+        distribution=TrafficDistribution.uniswap_2023(),
+        rng=DeterministicRng(seed).child("traffic-analysis"),
+    )
+    # Give every user a position so burns/collects need no substitution.
+    for i, user in enumerate(population.users):
+        user.positions.add(f"seed-position-{i}")
+
+    counts: dict[str, int] = {"swap": 0, "mint": 0, "burn": 0, "collect": 0}
+    sizes: dict[str, int] = {"swap": 0, "mint": 0, "burn": 0, "collect": 0}
+    txs = generator.generate_round(sample_size, submitted_at=0.0)
+    for tx in txs:
+        name = type(tx).txtype.value
+        counts[name] += 1
+        sizes[name] += tx.size_bytes
+
+    rows = []
+    for name in ("swap", "mint", "burn", "collect"):
+        measured_pct = 100 * counts[name] / sample_size
+        paper_pct = 100 * constants.TRAFFIC_DISTRIBUTION[name]
+        avg_size = sizes[name] / max(1, counts[name])
+        rows.append(
+            [
+                name,
+                round(measured_pct, 2),
+                round(paper_pct, 2),
+                constants.TRAFFIC_DAILY_VOLUME[name],
+                round(avg_size, 2),
+                constants.SIZE_UNISWAP_ETHEREUM[name],
+            ]
+        )
+    return {"rows": rows}
+
+
+def table7_spec(sample_size: int = 100_000, seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table7",
+        experiment_id="Table VII",
+        title="Transaction type breakdown, Uniswap 2023 traffic",
+        headers=("type", "measured %", "paper %", "paper vol/24h",
+                 "measured avg B", "paper avg B"),
+        grid=({"sample_size": sample_size, "seed": seed},),
+        point=table7_point,
+        description="validate the traffic generator against the paper's mix",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables VIII–XI — Appendix E parameter studies
+# ---------------------------------------------------------------------------
+
+PAPER_TABLE8 = {
+    500_000: (68.97, 4357.00, 4472.63),
+    1_000_000: (138.61, 1603.01, 1719.10),
+    1_500_000: (207.52, 687.98, 804.05),
+    2_000_000: (276.43, 230.48, 345.44),
+}
+
+PAPER_TABLE9 = {
+    7: (138.06, 231.52, 346.49),
+    11: (92.18, 921.64, 1087.95),
+    16: (61.75, 1950.92, 2193.85),
+    21: (46.31, 2975.90, 3295.11),
+}
+
+PAPER_TABLE10 = {
+    5: (114.27, 517.94, 545.12),
+    10: (128.53, 333.54, 337.86),
+    20: (135.90, 255.57, 334.81),
+    30: (138.06, 231.52, 346.49),
+    60: (140.66, 208.96, 434.94),
+    96: (141.53, 199.55, 546.04),
+}
+
+
+def table8_point(params) -> dict:
+    block_size = params["block_size"]
+    config, scale = scaled_ammboost_config(
+        params["daily_volume"],
+        scale=params.get("scale"),
+        meta_block_size=block_size,
+        seed=params["seed"],
+        committee_size=50,
+        miner_population=100,
+    )
+    metrics = AmmBoostSystem(config).run(num_epochs=params["num_epochs"])
+    paper = PAPER_TABLE8.get(block_size, ("-", "-", "-"))
+    row = [
+        f"{block_size / 1e6:g} MB",
+        round(metrics.throughput * scale, 2),
+        paper[0],
+        round(metrics.sidechain_latency.mean, 2),
+        paper[1],
+        round(metrics.payout_latency.mean, 2),
+        paper[2],
+    ]
+    return {"rows": [row]}
+
+
+def table8_spec(
+    block_sizes=(500_000, 1_000_000, 1_500_000, 2_000_000),
+    daily_volume: int = 50_000_000,
+    num_epochs: int = constants.DEFAULT_NUM_EPOCHS,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table8",
+        experiment_id="Table VIII",
+        title="Impact of sidechain block size (V_D = 50M)",
+        headers=("block size", "tput tx/s", "paper", "sc lat s", "paper",
+                 "payout lat s", "paper"),
+        grid=tuple(
+            {
+                "block_size": size,
+                "daily_volume": daily_volume,
+                "num_epochs": num_epochs,
+                "seed": seed,
+            }
+            for size in block_sizes
+        ),
+        point=table8_point,
+        notes="throughput scales linearly with block size; latency falls sharply",
+        accepts_scale=True,
+        description="throughput/latency vs sidechain block size at 1000x",
+    )
+
+
+def table9_point(params) -> dict:
+    duration = params["duration"]
+    config, scale = scaled_ammboost_config(
+        params["daily_volume"],
+        scale=params.get("scale"),
+        seed=params["seed"],
+        round_duration=float(duration),
+        committee_size=50,
+        miner_population=100,
+    )
+    metrics = AmmBoostSystem(config).run(num_epochs=params["num_epochs"])
+    paper = PAPER_TABLE9.get(duration, ("-", "-", "-"))
+    row = [
+        f"{duration} s",
+        round(metrics.throughput * scale, 2),
+        paper[0],
+        round(metrics.sidechain_latency.mean, 2),
+        paper[1],
+        round(metrics.payout_latency.mean, 2),
+        paper[2],
+    ]
+    return {"rows": [row]}
+
+
+def table9_spec(
+    durations=(7, 11, 16, 21),
+    daily_volume: int = constants.DEFAULT_DAILY_VOLUME,
+    num_epochs: int = constants.DEFAULT_NUM_EPOCHS,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table9",
+        experiment_id="Table IX",
+        title="Impact of sidechain round duration (V_D = 25M)",
+        headers=("round", "tput tx/s", "paper", "sc lat s", "paper",
+                 "payout lat s", "paper"),
+        grid=tuple(
+            {
+                "duration": duration,
+                "daily_volume": daily_volume,
+                "num_epochs": num_epochs,
+                "seed": seed,
+            }
+            for duration in durations
+        ),
+        point=table9_point,
+        accepts_scale=True,
+        description="throughput/latency vs sidechain round duration",
+    )
+
+
+def table10_point(params) -> dict:
+    """Table X point.
+
+    The last round of each epoch mines the summary-block rather than a
+    meta-block, so effective capacity is ``(omega - 1) / omega`` of the
+    per-round capacity — short epochs visibly hurt throughput, exactly
+    the Table X shape.  Longer epochs delay payouts.
+    """
+    omega = params["omega"]
+    config, scale = scaled_ammboost_config(
+        params["daily_volume"],
+        scale=params.get("scale"),
+        seed=params["seed"],
+        rounds_per_epoch=omega,
+        committee_size=50,
+        miner_population=100,
+    )
+    # Hold total traffic time constant across epoch lengths, as the
+    # paper does (11 default epochs = 330 rounds).
+    epochs = max(1, round(constants.DEFAULT_NUM_EPOCHS * 30 / omega))
+    metrics = AmmBoostSystem(config).run(num_epochs=epochs)
+    paper = PAPER_TABLE10.get(omega, ("-", "-", "-"))
+    row = [
+        omega,
+        round(metrics.throughput * scale, 2),
+        paper[0],
+        round(metrics.sidechain_latency.mean, 2),
+        paper[1],
+        round(metrics.payout_latency.mean, 2),
+        paper[2],
+    ]
+    return {"rows": [row]}
+
+
+def table10_spec(
+    epoch_lengths=(5, 10, 20, 30, 60, 96),
+    daily_volume: int = constants.DEFAULT_DAILY_VOLUME,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table10",
+        experiment_id="Table X",
+        title="Impact of rounds per epoch (V_D = 25M)",
+        headers=("epoch len", "tput tx/s", "paper", "sc lat s", "paper",
+                 "payout lat s", "paper"),
+        grid=tuple(
+            {"omega": omega, "daily_volume": daily_volume, "seed": seed}
+            for omega in epoch_lengths
+        ),
+        point=table10_point,
+        accepts_scale=True,
+        description="throughput/latency vs rounds per epoch",
+    )
+
+
+def table11_point(params) -> dict:
+    mix = tuple(params["mix"])
+    distribution = TrafficDistribution.from_percentages(*mix)
+    config, scale = scaled_ammboost_config(
+        params["daily_volume"],
+        scale=params.get("scale"),
+        seed=params["seed"],
+        committee_size=50,
+        miner_population=100,
+    )
+    system = AmmBoostSystem(config, distribution=distribution)
+    metrics = system.run(num_epochs=params["num_epochs"])
+    row = [
+        f"{mix[0]}/{mix[1]}/{mix[2]}/{mix[3]}",
+        round(metrics.throughput * scale, 2),
+        round(metrics.sidechain_latency.mean, 2),
+        round(metrics.payout_latency.mean, 2),
+        system.ledger.max_live_bytes,
+    ]
+    return {"rows": [row]}
+
+
+def table11_spec(
+    mixes=TABLE_XI_MIXES,
+    daily_volume: int = constants.DEFAULT_DAILY_VOLUME,
+    num_epochs: int = 4,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table11",
+        experiment_id="Table XI",
+        title="Impact of traffic distribution (swap/mint/burn/collect %)",
+        headers=("mix", "tput tx/s", "sc lat s", "payout lat s", "max sc B"),
+        grid=tuple(
+            {
+                "mix": tuple(mix),
+                "daily_volume": daily_volume,
+                "num_epochs": num_epochs,
+                "seed": seed,
+            }
+            for mix in mixes
+        ),
+        point=table11_point,
+        notes=(
+            "metrics stay close across mixes because transaction sizes are "
+            "similar (paper's observation); max sidechain growth is bounded "
+            "by users and positions, not volume"
+        ),
+        accepts_scale=True,
+        description="impact of the traffic distribution",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table XII — PBFT agreement time vs committee size
+# ---------------------------------------------------------------------------
+
+
+def table12_point(params) -> dict:
+    """Calibrated agreement-time model vs the paper's measurements.
+
+    The model is fitted to these points; the bench checks the fit quality
+    and monotonicity, and the message-level engine is timed at small
+    scales in the test suite.
+    """
+    model = AgreementTimeModel()
+    rows = []
+    for size in params["sizes"]:
+        predicted = model.agreement_time(size)
+        paper = constants.AGREEMENT_TIME_BY_COMMITTEE.get(size, float("nan"))
+        rows.append(
+            [
+                size,
+                round(predicted, 2),
+                paper,
+                round(model.min_round_duration(size), 1),
+            ]
+        )
+    return {
+        "rows": rows,
+        "notes": f"quadratic fit t = {model.a:.3e} c^2 + {model.b:.3e} c",
+    }
+
+
+def table12_spec(sizes=(100, 250, 500, 750, 1000)) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table12",
+        experiment_id="Table XII",
+        title="PBFT agreement time vs committee size",
+        headers=("committee", "model s", "paper s", "min round s"),
+        grid=({"sizes": tuple(sizes)},),
+        point=table12_point,
+        description="PBFT agreement time model vs committee size",
+    )
+
+
+#: Builders for the paper set, in presentation order (the CLI's ``all``).
+PAPER_SPEC_BUILDERS = (
+    table2_spec,
+    table3_spec,
+    table4_spec,
+    figure5_spec,
+    table5_spec,
+    table6_spec,
+    table7_spec,
+    table8_spec,
+    table9_spec,
+    table10_spec,
+    table11_spec,
+    table12_spec,
+)

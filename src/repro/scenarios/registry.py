@@ -1,0 +1,49 @@
+"""The scenario registry: every experiment the CLI can run, by name.
+
+``repro.scenarios`` registers the built-in paper set (table2..table12,
+figure5) and the extra scenarios on import; downstream code registers its
+own specs with :func:`register` and they immediately appear in
+``python -m repro.experiments list``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (and return it, for decorator-ish use)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigurationError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (no-op if absent) — for tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def names(group: str | None = None) -> list[str]:
+    """Registered scenario names (insertion order), optionally by group."""
+    return [n for n, s in _REGISTRY.items() if group is None or s.group == group]
+
+
+def specs(group: str | None = None) -> list[ScenarioSpec]:
+    return [s for s in _REGISTRY.values() if group is None or s.group == group]
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY

@@ -1,0 +1,31 @@
+"""The result container every scenario produces.
+
+Lives in the scenario layer so the engine is self-contained; the
+historical import path ``repro.experiments.common.ExperimentResult``
+re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.report import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    paper_reference: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        return format_table(f"{self.experiment_id}: {self.title}", self.headers, self.rows)
+
+    def row_dict(self, column: int = 0) -> dict:
+        """Index rows by their first column for easy assertions."""
+        return {row[column]: row for row in self.rows}

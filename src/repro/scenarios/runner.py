@@ -1,0 +1,188 @@
+"""Process-parallel scenario execution.
+
+Grid points are independent (each builds its own system from its own
+seed), so a scenario — or a whole batch of scenarios — fans out across
+worker processes with ``jobs > 1``.  Three properties make parallel runs
+*bit-identical* to serial ones:
+
+* points are mapped in grid order (``Pool.map`` preserves input order),
+  and rows are merged per spec before finalisation;
+* point functions receive everything through their ``params`` dict — no
+  worker-local state survives between points;
+* derived per-point seeds come from
+  :class:`~repro.simulation.rng.DeterministicRng` substreams (hash-based,
+  no global RNG), so they do not depend on which worker runs the point.
+
+Workers are forked where available (cheap: the parent has already paid
+the import cost); platforms without ``fork`` fall back to the default
+start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Mapping, Sequence
+
+from repro.scenarios.result import ExperimentResult
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.rng import DeterministicRng
+
+
+class ScenarioError(RuntimeError):
+    """A scenario point raised; carries the worker's traceback text."""
+
+    def __init__(self, scenario: str, message: str, details: str = "") -> None:
+        super().__init__(f"scenario {scenario!r} failed: {message}")
+        self.scenario = scenario
+        self.message = message
+        self.details = details
+
+
+def point_substream_seed(base_seed: int | str, scenario: str, index: int) -> int:
+    """Deterministic per-point seed, independent of worker and job count."""
+    return DeterministicRng(f"{base_seed}/{scenario}/point{index}").randbits(63)
+
+
+def _reset_point_state() -> None:
+    """Give the point fresh-process semantics.
+
+    Transaction ids come from process-global counters and feed position-id
+    hashes, so without a reset a point's exact trajectory would depend on
+    what ran earlier in the process — and, under ``jobs > 1``, on which
+    worker picked it up.  Resetting before every point makes serial and
+    parallel runs bit-identical, and makes ``table6`` render the same
+    table whether run alone or inside ``all`` (the monolithic CLI did
+    not guarantee that).
+    """
+    import repro.core.transactions
+    import repro.mainchain.transactions
+
+    repro.core.transactions.reset_tx_counter()
+    repro.mainchain.transactions.reset_tx_counter()
+
+
+def _snapshot_tx_counters() -> tuple[int, int]:
+    import repro.core.transactions
+    import repro.mainchain.transactions
+
+    return (
+        repro.core.transactions.snapshot_tx_counter(),
+        repro.mainchain.transactions.snapshot_tx_counter(),
+    )
+
+
+def _restore_tx_counters(snapshot: tuple[int, int]) -> None:
+    import repro.core.transactions
+    import repro.mainchain.transactions
+
+    repro.core.transactions.reset_tx_counter(snapshot[0])
+    repro.mainchain.transactions.reset_tx_counter(snapshot[1])
+
+
+def _invoke(task: tuple) -> tuple:
+    """Run one point; never raise (errors must survive the pickle trip)."""
+    fn, params = task
+    try:
+        _reset_point_state()
+        return ("ok", fn(params))
+    except Exception as exc:  # noqa: BLE001 — reported per-scenario by the caller
+        return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ScenarioRunner:
+    """Executes scenario specs, serially or across worker processes."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        scale: int | None = None,
+        base_seed: int | str = 0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.scale = scale
+        self.base_seed = base_seed
+
+    # -- task construction ---------------------------------------------------
+
+    def _point_params(
+        self, spec: ScenarioSpec, index: int, params: Mapping[str, Any]
+    ) -> dict:
+        enriched = dict(params)
+        if spec.accepts_scale and self.scale is not None:
+            enriched["scale"] = self.scale
+        if spec.derive_seeds:
+            enriched.setdefault(
+                "seed", point_substream_seed(self.base_seed, spec.name, index)
+            )
+        return enriched
+
+    def _tasks(self, spec: ScenarioSpec) -> list[tuple]:
+        return [
+            (spec.point, self._point_params(spec, i, params))
+            for i, params in enumerate(spec.grid)
+        ]
+
+    # -- execution -----------------------------------------------------------
+
+    def _map(self, tasks: Sequence[tuple]) -> list[tuple]:
+        """Map ``_invoke`` over tasks, in order, optionally in parallel."""
+        if self.jobs <= 1 or len(tasks) <= 1:
+            # _invoke resets the process-global tx-id counters for each
+            # point; restore them afterwards so a caller's live systems
+            # (built before this run) never see recycled ids.
+            snapshot = _snapshot_tx_counters()
+            try:
+                return [_invoke(task) for task in tasks]
+            finally:
+                _restore_tx_counters(snapshot)
+        workers = min(self.jobs, len(tasks))
+        with _pool_context().Pool(processes=workers) as pool:
+            # chunksize=1: points vary hugely in cost; let workers steal.
+            return pool.map(_invoke, tasks, chunksize=1)
+
+    @staticmethod
+    def _collect(spec: ScenarioSpec, outcomes: Sequence[tuple]) -> ExperimentResult:
+        results = []
+        for outcome in outcomes:
+            if outcome[0] == "err":
+                raise ScenarioError(spec.name, outcome[1], outcome[2])
+            results.append(outcome[1])
+        return spec.finalize_result(results)
+
+    def run(self, spec: ScenarioSpec) -> ExperimentResult:
+        """Run one scenario; raises :class:`ScenarioError` on point failure."""
+        return self._collect(spec, self._map(self._tasks(spec)))
+
+    def run_many(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> list[ExperimentResult | ScenarioError]:
+        """Run a batch through one shared worker pool.
+
+        Points of *all* scenarios are interleaved in one task list, so a
+        wide pool stays busy even while a one-point scenario runs.  The
+        returned list is parallel to ``specs``; a scenario whose point
+        raised yields a :class:`ScenarioError` entry instead of aborting
+        the whole batch.
+        """
+        all_tasks: list[tuple] = []
+        slices: list[tuple[int, int]] = []
+        for spec in specs:
+            tasks = self._tasks(spec)
+            slices.append((len(all_tasks), len(all_tasks) + len(tasks)))
+            all_tasks.extend(tasks)
+        outcomes = self._map(all_tasks)
+        collected: list[ExperimentResult | ScenarioError] = []
+        for spec, (start, end) in zip(specs, slices):
+            try:
+                collected.append(self._collect(spec, outcomes[start:end]))
+            except ScenarioError as error:
+                collected.append(error)
+        return collected

@@ -1,0 +1,96 @@
+"""Declarative scenario specifications.
+
+A scenario is *data*: a grid of independent parameter points, a
+module-level point function that turns one point into table rows, and a
+finaliser that folds the per-point results into one
+:class:`~repro.scenarios.result.ExperimentResult`.  Because grid points
+are independent and point functions are importable by reference, the
+:class:`~repro.scenarios.runner.ScenarioRunner` can fan them across
+worker processes and still merge rows in spec order — serial and
+parallel runs are bit-identical.
+
+Point functions receive one ``params`` dict (the grid entry, plus any
+runner-injected keys) and return a picklable mapping::
+
+    {"rows": [[...], ...],        # required: rows this point contributes
+     "notes": "...",              # optional: joined into the result notes
+     ...}                         # optional extras a custom finalize reads
+
+Conventions the runner may inject into ``params``:
+
+* ``scale`` — the CLI ``--scale`` override (specs with ``accepts_scale``);
+* ``seed`` — a deterministic per-point substream seed (specs with
+  ``derive_seeds``), derived from
+  :class:`~repro.simulation.rng.DeterministicRng` so it is stable across
+  processes, job counts and evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.result import ExperimentResult
+
+#: Signature of a point function: params -> {"rows": [...], ...}.
+PointFn = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+#: Signature of a finalizer: (spec, point results) -> ExperimentResult.
+FinalizeFn = Callable[["ScenarioSpec", Sequence[Mapping[str, Any]]], ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment declared as data: grid x point function x finalize."""
+
+    #: CLI name (``python -m repro.experiments <name>``).
+    name: str
+    #: The paper artifact it reproduces, e.g. ``"Table V"``.
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    #: Independent parameter points; each is one unit of parallel work.
+    grid: tuple[Mapping[str, Any], ...]
+    #: Module-level function executed (possibly in a worker) per point.
+    point: PointFn
+    #: Folds point results into the final table; default concatenates rows
+    #: in grid order and joins per-point notes.
+    finalize: FinalizeFn | None = None
+    notes: str = ""
+    #: ``"paper"`` scenarios make up the ``all`` set; ``"extra"`` ones run
+    #: by name or via the ``extras`` group.
+    group: str = "paper"
+    #: Whether the runner may inject a ``scale`` override (CLI ``--scale``).
+    accepts_scale: bool = False
+    #: Whether the runner injects deterministic per-point ``seed`` values.
+    derive_seeds: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ConfigurationError(f"scenario {self.name!r} has an empty grid")
+        if self.group not in ("paper", "extra"):
+            raise ConfigurationError(f"unknown scenario group {self.group!r}")
+
+    def finalize_result(
+        self, results: Sequence[Mapping[str, Any]]
+    ) -> ExperimentResult:
+        if self.finalize is not None:
+            return self.finalize(self, results)
+        return default_finalize(self, results)
+
+
+def default_finalize(
+    spec: ScenarioSpec, results: Sequence[Mapping[str, Any]]
+) -> ExperimentResult:
+    """Concatenate point rows in grid order; join any per-point notes."""
+    rows = [row for res in results for row in res["rows"]]
+    point_notes = [res["notes"] for res in results if res.get("notes")]
+    notes = "; ".join(point_notes) if point_notes else spec.notes
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        headers=list(spec.headers),
+        rows=rows,
+        notes=notes,
+    )

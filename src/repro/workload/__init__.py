@@ -1,10 +1,20 @@
-"""Workload generation: traffic mixes, arrival process, user population."""
+"""Workload generation: traffic mixes, arrival processes, user population."""
 
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+)
 from repro.workload.distribution import TrafficDistribution
 from repro.workload.generator import TrafficGenerator, arrival_rate_per_round
 from repro.workload.users import UserPopulation
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ConstantArrivals",
+    "DiurnalArrivals",
     "TrafficDistribution",
     "TrafficGenerator",
     "arrival_rate_per_round",

@@ -1,0 +1,40 @@
+"""Smoke-test every example script.
+
+The ``examples/`` scripts are documentation that executes; without this
+module they drift silently when APIs change (e.g. ``quote_swap`` call
+sites after the PR 1 engine rework).  Each must run to completion with a
+zero exit status.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 5, EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

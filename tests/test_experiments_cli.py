@@ -5,7 +5,9 @@ import sys
 
 import pytest
 
-from repro.experiments.__main__ import RUNNERS, main
+import repro.scenarios as scenarios
+from repro.experiments.__main__ import RUNNERS, _expand_names, main
+from repro.scenarios.spec import ScenarioSpec
 
 
 def test_all_paper_artifacts_have_runners():
@@ -17,6 +19,7 @@ def test_list_returns_zero(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "table5" in out
+    assert "multipool" in out  # extra scenarios are listed too
 
 
 def test_unknown_experiment_rejected(capsys):
@@ -29,6 +32,50 @@ def test_run_single_experiment(capsys):
     assert main(["table4"]) == 0
     out = capsys.readouterr().out
     assert "Payout entry" in out
+
+
+def test_repeated_names_deduped(capsys):
+    """``table4 table4`` must run (and print) the experiment once."""
+    assert main(["table4", "table4", "table12", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Table IV:") == 1
+    assert out.count("Table XII:") == 1
+
+
+def test_all_group_dedupes_against_explicit_names():
+    names = _expand_names(["table5", "all"])
+    assert names.count("table5") == 1
+    assert set(names) >= set(RUNNERS)
+
+
+def test_failing_scenario_exits_nonzero_without_bare_traceback(capsys):
+    def bad_point(params):
+        raise RuntimeError("exploded mid-run")
+
+    spec = ScenarioSpec(
+        name="cli_explode_test", experiment_id="X", title="t", headers=("a",),
+        grid=({},), point=bad_point, group="extra",
+    )
+    scenarios.register(spec)
+    try:
+        # The failure is reported on stderr, the healthy experiment still
+        # renders, and the exit code is non-zero.
+        assert main(["cli_explode_test", "table4"]) == 1
+        captured = capsys.readouterr()
+        assert "cli_explode_test" in captured.err
+        assert "exploded mid-run" in captured.err
+        assert "Table IV:" in captured.out
+    finally:
+        scenarios.unregister("cli_explode_test")
+
+
+def test_bad_jobs_rejected(capsys):
+    assert main(["table4", "--jobs", "0"]) == 2
+
+
+def test_jobs_flag_accepted(capsys):
+    assert main(["table12", "--jobs", "2"]) == 0
+    assert "committee" in capsys.readouterr().out
 
 
 def test_module_invocation():
