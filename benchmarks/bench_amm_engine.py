@@ -137,6 +137,64 @@ def make_executor_round_op():
     return op
 
 
+PBFT_ROUND_MEMBERS = 8  # 3f + 2 with f = 2, the fault-scenario committee
+
+
+def make_pbft_round_op():
+    """One full message-level PBFT round with the fault machinery armed.
+
+    Runs an honest 8-member agreement (pre-prepare, prepare, commit, all
+    votes Schnorr-verified) with a :class:`~repro.faults.FaultDriver`
+    installed whose plan never fires — so the number tracks the fault
+    path's overhead on the happy path, not just the bare engine.
+    """
+    from repro import constants
+    from repro.crypto.keys import generate_keypair
+    from repro.faults import Crash, FaultDriver, FaultPlan
+    from repro.sidechain.pbft import PbftConfig, PbftRound
+    from repro.simulation.events import EventScheduler
+    from repro.simulation.network import Network
+    from repro.simulation.rng import DeterministicRng
+
+    members = [f"m{i}" for i in range(PBFT_ROUND_MEMBERS)]
+    keypairs = {m: generate_keypair(m) for m in members}
+    config = PbftConfig(
+        members=members,
+        quorum=constants.committee_quorum(PBFT_ROUND_MEMBERS),
+        view_timeout=3.0,
+    )
+    # An inert plan (its one event sits far beyond the horizon): every
+    # send and delivery still pays the fault checks.
+    plan = FaultPlan((Crash(start=1e9, node=members[0]),))
+    state = {"seed": 0}
+
+    def op():
+        state["seed"] += 1
+        scheduler = EventScheduler()
+        network = Network(scheduler, DeterministicRng(state["seed"]))
+        driver = FaultDriver(plan, rng=DeterministicRng(f'{state["seed"]}/f'))
+        network.install_faults(driver)
+        pbft = PbftRound(
+            config,
+            network,
+            scheduler,
+            keypairs,
+            proposer_fn=lambda view: {"meta-block": view},
+            validator=lambda proposal: isinstance(proposal, dict),
+            faults=driver,
+        )
+        outcome = pbft.run_to_completion()
+        scheduler.run(max_events=10_000)
+        if not outcome.decided or outcome.view != 0:
+            raise RuntimeError(
+                f"happy-path round went wrong: decided={outcome.decided} "
+                f"view={outcome.view}"
+            )
+        return outcome
+
+    return op
+
+
 SYSTEM_EPOCH_VOLUME = 500_000
 SYSTEM_EPOCH_ROUNDS = 6
 
@@ -204,6 +262,11 @@ def test_bench_executor_round(benchmark):
 
 def test_bench_system_epoch(benchmark):
     benchmark(make_system_epoch_op())
+
+
+def test_bench_pbft_round(benchmark):
+    outcome = benchmark(make_pbft_round_op())
+    assert outcome.decided
 
 
 def test_bench_tick_math_roundtrip(benchmark):

@@ -48,6 +48,11 @@ SEED_BASELINE_OPS_PER_SEC = {
     # system_epoch was added in PR 2; its baseline is the PR 1 (monolithic
     # epoch loop) tree measured with this same runner, in sidechain tx/s.
     "system_epoch": 26_326.6,
+    # pbft_round was added in PR 3 (fault engine): one honest 8-member
+    # message-level agreement with the fault driver armed, in rounds/s.
+    # Baseline measured on the PR 3 tree — it tracks fault-path overhead
+    # on the happy path from here on.
+    "pbft_round": 4.2,
 }
 
 # Scenario bodies are defined once in bench_amm_engine.py (shared with the
@@ -61,6 +66,7 @@ SCENARIOS = {
     "mint_burn_cycle": bench_amm_engine.make_mint_burn_cycle_op,
     "executor_round": bench_amm_engine.make_executor_round_op,
     "system_epoch": bench_amm_engine.make_system_epoch_op,
+    "pbft_round": bench_amm_engine.make_pbft_round_op,
 }
 
 

@@ -57,6 +57,10 @@ class EpochContext:
     rounds_used: int = 0
     #: Wall-clock end of the summary round, set by :class:`SummarySyncPhase`.
     summary_end: float = 0.0
+    #: Seconds of consensus time faults cost this epoch so far; the
+    #: fault-aware phases (:mod:`repro.faults.phases`) accumulate it and
+    #: shift later rounds by it.  Always 0.0 on the default pipeline.
+    fault_delay: float = 0.0
 
 
 class EpochPhase:
@@ -234,8 +238,7 @@ class RoundExecutionPhase(EpochPhase):
         for round_index in range(system.config.rounds_per_epoch - 1):
             if not ctx.inject and not system.queue:
                 break
-            round_start = ctx.epoch_start + round_index * system.config.round_duration
-            round_end = round_start + system.config.round_duration
+            round_start, round_end = self.round_bounds(system, ctx, round_index)
             if system.clock.now < round_start:
                 system.clock.advance_to(round_start)
             self.ingest.ingest_round(system, ctx, round_start)
@@ -244,6 +247,18 @@ class RoundExecutionPhase(EpochPhase):
             system.mainchain.produce_blocks_until(round_end)
             check_pending_syncs(system)
             ctx.rounds_used += 1
+
+    def round_bounds(
+        self, system, ctx: EpochContext, round_index: int
+    ) -> tuple[float, float]:
+        """Wall-clock (start, end) of one meta-block round.
+
+        The hook subclasses override to stretch or shift rounds — the
+        fault-aware phase (:mod:`repro.faults.phases`) charges view-change
+        penalties here — while the loop body stays shared.
+        """
+        round_start = ctx.epoch_start + round_index * system.config.round_duration
+        return round_start, round_start + system.config.round_duration
 
     @staticmethod
     def mine_meta_block(

@@ -26,7 +26,10 @@ byte-identical to the historical monolithic loop.
 
 Interruptions (failed sync leaders via ``fail_sync_epochs``; mainchain
 rollbacks via :meth:`AmmBoostSystem.inject_mainchain_rollback`) are
-recovered by mass-syncing with key hand-over certificates.
+recovered by mass-syncing with key hand-over certificates.  Whole
+interruption timelines can be declared as a
+:class:`~repro.faults.plan.FaultPlan` and passed as ``fault_plan`` —
+see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -139,6 +142,7 @@ class AmmBoostSystem:
         distribution: TrafficDistribution | None = None,
         arrivals: ArrivalProcess | None = None,
         epoch_phases: Sequence[EpochPhase] | None = None,
+        fault_plan=None,
     ) -> None:
         from repro.workload.generator import TrafficGenerator
         from repro.workload.users import UserPopulation
@@ -146,6 +150,38 @@ class AmmBoostSystem:
         self.config = config or AmmBoostConfig()
         self.distribution = distribution or TrafficDistribution.uniswap_2023()
         self.arrivals = arrivals or ConstantArrivals()
+
+        # A non-empty fault plan swaps in the fault-aware phase pipeline
+        # (repro.faults.phases) and routes its withheld-sync epochs through
+        # the existing fail_sync_epochs recovery machinery; the plan's
+        # message-layer events do not apply here (the epoch-level system
+        # has no message network — consensus cost flows through the
+        # timing model).  With fault_plan=None nothing changes.
+        self.faults = None
+        if fault_plan is not None and not fault_plan.is_empty():
+            from dataclasses import replace
+
+            from repro.faults import FaultSession, faulty_epoch_phases
+
+            if not fault_plan.epoch_events():
+                raise ConfigurationError(
+                    "fault_plan contains only message-layer events, which "
+                    "the epoch-level system cannot apply (it has no message "
+                    "network) — install them on a Network / PbftRound "
+                    "instead (see repro.faults)"
+                )
+            self.faults = FaultSession(fault_plan)
+            withheld = self.faults.withheld_epochs
+            if withheld:
+                # Copy-on-write: never mutate the caller's config object.
+                self.config = replace(
+                    self.config,
+                    fail_sync_epochs=set(self.config.fail_sync_epochs) | withheld,
+                )
+            if epoch_phases is None:
+                epoch_phases = faulty_epoch_phases()
+            else:
+                self._require_fault_aware_phases(epoch_phases, fault_plan)
         self.epoch_phases: tuple[EpochPhase, ...] = tuple(
             epoch_phases if epoch_phases is not None else default_epoch_phases()
         )
@@ -213,6 +249,35 @@ class AmmBoostSystem:
         self._next_epoch = 0
         self._bootstrap_done = False
         self._setup_done = False
+
+    @staticmethod
+    def _require_fault_aware_phases(epoch_phases, fault_plan) -> None:
+        """Refuse a fault plan a custom pipeline would silently half-apply.
+
+        Withheld syncs apply through the config on any pipeline, but view
+        changes happen only inside :class:`FaultyRoundExecutionPhase` and
+        rollbacks only inside :class:`FaultyPruneRecoveryPhase` — each
+        event type present in the plan needs its phase in the pipeline.
+        """
+        from repro.faults.phases import (
+            FaultyPruneRecoveryPhase,
+            FaultyRoundExecutionPhase,
+        )
+        from repro.faults.plan import Rollback, ViewChangeBurst
+
+        requirements = (
+            (ViewChangeBurst, FaultyRoundExecutionPhase),
+            (Rollback, FaultyPruneRecoveryPhase),
+        )
+        for event_type, phase_type in requirements:
+            if fault_plan.of_type(event_type) and not any(
+                isinstance(phase, phase_type) for phase in epoch_phases
+            ):
+                raise ConfigurationError(
+                    f"fault_plan contains {event_type.__name__} events but "
+                    f"the custom epoch_phases include no {phase_type.__name__}"
+                    " — those events would be silently dropped"
+                )
 
     # ------------------------------------------------------------------------
     # Setup (Figure 2)

@@ -138,8 +138,14 @@ class DepositError(AmmBoostError):
     """A sidechain transaction is not covered by the issuer's deposit."""
 
 
-class SyncAuthError(AmmBoostError):
-    """A Sync call failed TSQC authentication."""
+class SyncAuthError(AmmBoostError, RevertError):
+    """A Sync call failed TSQC authentication.
+
+    Also a :class:`RevertError`: on-chain, a failed TSQC check reverts
+    the Sync transaction rather than halting the chain — which is what
+    lets a sync signed against a fork-rewound committee key fail
+    harmlessly and be recovered by the next epoch's mass-sync.
+    """
 
 
 class SyncValidationError(AmmBoostError):

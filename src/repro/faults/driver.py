@@ -1,0 +1,121 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` onto the message layer.
+
+The :class:`FaultDriver` is the object the network and the PBFT engine
+consult at runtime:
+
+* :meth:`outbound` runs inside :meth:`Network.send <repro.simulation.network.Network.send>`
+  — it decides whether the message leaves the sender at all (crashes,
+  partitions, probabilistic drops) and how much extra delay it picks up
+  (clamped to the Δ bound unless the plan says the bound is violated);
+* :meth:`blocks_delivery` runs inside ``Network._deliver`` — a message in
+  flight is lost if its recipient is down or across a partition cut when
+  it lands;
+* :meth:`is_crashed` / :meth:`recoveries` let ``PbftRound`` silence a
+  crashed member's own actions (proposals, votes, timeouts) and re-arm
+  its timeout when it comes back.
+
+Endpoints are mapped to node names by taking the part after the last
+``:`` (``"pbft:m3"`` → ``"m3"``), matching the engine's endpoint scheme.
+
+Drop draws come from the driver's own RNG substream, so installing a
+driver never perturbs the network's base-delay stream — a plan with no
+drop events leaves delivery jitter bit-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import Crash, Delay, Drop, FaultPlan, Partition
+from repro.simulation.network import Message, NetworkConfig
+from repro.simulation.rng import DeterministicRng
+
+
+def node_of(endpoint: str) -> str:
+    """The node name behind an endpoint (``"pbft:m3"`` → ``"m3"``)."""
+    return endpoint.rsplit(":", 1)[-1]
+
+
+class FaultDriver:
+    """Runtime view of a plan's message-layer events."""
+
+    def __init__(self, plan: FaultPlan, rng: DeterministicRng | None = None) -> None:
+        self.plan = plan
+        self._rng = rng if rng is not None else DeterministicRng("faults")
+        self._partitions: tuple[Partition, ...] = plan.of_type(Partition)
+        self._crashes: tuple[Crash, ...] = plan.of_type(Crash)
+        self._delays: tuple[Delay, ...] = plan.of_type(Delay)
+        self._drops: tuple[Drop, ...] = plan.of_type(Drop)
+        #: Byzantine behaviours compiled from the plan's Corrupt events;
+        #: PbftRound merges these under any explicitly passed behaviors.
+        self.behaviors = plan.behaviors()
+        self.dropped_by_fault = 0
+
+    # -- state queries ----------------------------------------------------------
+
+    def is_crashed(self, node: str, now: float) -> bool:
+        for crash in self._crashes:
+            if crash.node != node:
+                continue
+            if crash.start <= now and (crash.end is None or now < crash.end):
+                return True
+        return False
+
+    def separated(self, node_a: str, node_b: str, now: float) -> bool:
+        """True when an active partition cut runs between the two nodes."""
+        for cut in self._partitions:
+            if cut.start <= now < cut.end:
+                if (node_a in cut.members) != (node_b in cut.members):
+                    return True
+        return False
+
+    def recoveries(self) -> list[tuple[float, str]]:
+        """(time, node) pairs at which crashed nodes come back up."""
+        return sorted(
+            (crash.end, crash.node)
+            for crash in self._crashes
+            if crash.end is not None
+        )
+
+    # -- network hooks ----------------------------------------------------------
+
+    def outbound(
+        self, msg: Message, now: float, delay: float, config: NetworkConfig
+    ) -> float | None:
+        """Final delivery delay for a message sent now, or None to drop it."""
+        sender, recipient = node_of(msg.sender), node_of(msg.recipient)
+        if self.is_crashed(sender, now) or self.separated(sender, recipient, now):
+            self.dropped_by_fault += 1
+            return None
+        for drop in self._drops:
+            if not drop.start <= now < drop.end:
+                continue
+            if drop.sender is not None and drop.sender != sender:
+                continue
+            if drop.recipient is not None and drop.recipient != recipient:
+                continue
+            if self._rng.random() < drop.fraction:
+                self.dropped_by_fault += 1
+                return None
+        extra = 0.0
+        respect_delta = True
+        for rule in self._delays:
+            if not rule.start <= now < rule.end:
+                continue
+            if rule.sender is not None and rule.sender != sender:
+                continue
+            if rule.recipient is not None and rule.recipient != recipient:
+                continue
+            extra += rule.extra
+            respect_delta = respect_delta and rule.respect_delta
+        if extra > 0.0:
+            delay += extra
+            if respect_delta:
+                delay = min(delay, config.delta_bound)
+        return delay
+
+    def blocks_delivery(self, msg: Message, now: float) -> bool:
+        """Lose an in-flight message whose landing spot is faulted."""
+        sender, recipient = node_of(msg.sender), node_of(msg.recipient)
+        if self.is_crashed(recipient, now) or self.separated(sender, recipient, now):
+            self.dropped_by_fault += 1
+            return True
+        return False

@@ -1,0 +1,164 @@
+"""Fault-aware epoch phases: a plan's epoch events applied to the system.
+
+These subclass the default phases of :mod:`repro.core.phases` and are
+installed by :class:`~repro.core.system.AmmBoostSystem` when it is built
+with a non-empty fault plan:
+
+* :class:`FaultyRoundExecutionPhase` — translates
+  :class:`~repro.faults.plan.ViewChangeBurst` events into interrupted
+  rounds: each view change costs one committee agreement time (the fitted
+  :class:`~repro.sidechain.timing.AgreementTimeModel`), stretching the
+  round and shifting every later round through ``ctx.fault_delay``;
+* :class:`FaultySummarySyncPhase` — accounts the accumulated delay in the
+  summary round's end and logs
+  :class:`~repro.faults.plan.SyncWithhold` interruptions (the withheld
+  sync itself reuses the system's ``fail_sync_epochs`` machinery, so
+  mass-sync recovery is exactly the Section IV-C path);
+* :class:`FaultyPruneRecoveryPhase` — executes
+  :class:`~repro.faults.plan.Rollback` events after the boundary, either
+  at a literal depth or by forking off the epoch's own confirmed sync.
+
+Every applied fault is recorded in ``system.faults.log`` — the run's
+fault log — so tests can assert that an epoch which never finalized is
+at least accounted for (no silent hangs).
+"""
+
+from __future__ import annotations
+
+from repro.core.phases import (
+    CommitteeHandoverPhase,
+    DepositMergePhase,
+    EpochContext,
+    EpochPhase,
+    PruneRecoveryPhase,
+    RoundExecutionPhase,
+    SummarySyncPhase,
+    WorkloadIngestPhase,
+    check_pending_syncs,
+)
+
+
+class FaultyRoundExecutionPhase(RoundExecutionPhase):
+    """Meta-block rounds with plan-driven interruptions.
+
+    Runs the parent loop unchanged and only overrides the round-bounds
+    hook: a round hit by a view-change burst runs ``views`` leader
+    replacements, each charged one agreement time of the committee
+    through the system's timing model.  The penalty extends the round
+    (its meta-block lands late) and accumulates in ``ctx.fault_delay`` so
+    every subsequent round — and the summary — shifts with it.
+    """
+
+    def round_bounds(
+        self, system, ctx: EpochContext, round_index: int
+    ) -> tuple[float, float]:
+        duration = system.config.round_duration
+        round_start = ctx.epoch_start + round_index * duration + ctx.fault_delay
+        penalty = 0.0
+        views = system.faults.view_changes(ctx.epoch, round_index)
+        if views:
+            penalty = views * system.timing.agreement_time(
+                system.config.committee_size
+            )
+            ctx.fault_delay += penalty
+            system.faults.record(
+                ctx.epoch,
+                "view_change",
+                round_index=round_index,
+                detail=f"{views} view change(s)",
+                delay=penalty,
+            )
+        return round_start, round_start + duration + penalty
+
+
+class FaultySummarySyncPhase(SummarySyncPhase):
+    """Summary round shifted by the epoch's fault delay; withholds logged."""
+
+    def run(self, system, ctx: EpochContext) -> None:
+        ctx.summary_end = (
+            ctx.epoch_start
+            + (ctx.rounds_used + 1) * system.config.round_duration
+            + ctx.fault_delay
+        )
+        if system.faults.sync_withheld(ctx.epoch):
+            system.faults.record(
+                ctx.epoch, "sync_withheld", detail="leader withheld the Sync call"
+            )
+        self.mine_summary_and_sync(
+            system, ctx.epoch, ctx.initial_deposits, ctx.summary_end
+        )
+        system._global_round += 1
+
+
+class FaultyPruneRecoveryPhase(PruneRecoveryPhase):
+    """Boundary rotation, then any planned mainchain fork for this epoch."""
+
+    def run(self, system, ctx: EpochContext) -> None:
+        super().run(system, ctx)
+        rollback = system.faults.rollback_for(ctx.epoch)
+        if rollback is None:
+            return
+        depth = self._resolve_depth(system, rollback)
+        if depth < 1:
+            system.faults.record(
+                ctx.epoch, "rollback", detail="no blocks to abandon; skipped"
+            )
+            return
+        synced_before = set(system.token_bank.synced_epochs)
+        affected = system.inject_mainchain_rollback(depth)
+        system.faults.record(
+            ctx.epoch,
+            "rollback",
+            detail=f"depth {depth}, {affected} sync(s) abandoned",
+        )
+        # A deep fork can abandon earlier epochs' syncs too; log each
+        # casualty so no unfinalized epoch goes unaccounted for.
+        for epoch in sorted(synced_before - system.token_bank.synced_epochs):
+            if epoch != ctx.epoch:
+                system.faults.record(
+                    epoch,
+                    "sync_abandoned",
+                    detail=f"fork at epoch {ctx.epoch} abandoned this sync",
+                )
+
+    @staticmethod
+    def _resolve_depth(system, rollback) -> int:
+        """A safe, meaningful depth for the planned fork.
+
+        ``depth=None`` targets the epoch's own sync: let it confirm, then
+        fork to just before its block.  Explicit depths are clamped to
+        what :meth:`Mainchain.rollback` accepts.
+        """
+        chain = system.mainchain
+        if rollback.depth is None:
+            # Give the pending sync a few blocks to land, as the recovery
+            # experiments do, then abandon everything from its block on.
+            chain.produce_blocks_until(
+                system.clock.now + 3 * chain.config.block_interval
+            )
+            check_pending_syncs(system)
+            sync_blocks = [
+                tx.block_number
+                for block in chain.blocks
+                for tx in block.transactions
+                if tx.label == "sync" and tx.block_number is not None
+            ]
+            if not sync_blocks:
+                return 0
+            depth = chain.height - max(sync_blocks)
+        else:
+            depth = rollback.depth
+        return min(depth, len(chain.blocks), chain.config.max_rollback_depth)
+
+
+def faulty_epoch_phases() -> tuple[EpochPhase, ...]:
+    """The default pipeline with the fault-aware stages swapped in."""
+    ingest = WorkloadIngestPhase()
+    return (
+        CommitteeHandoverPhase(),
+        DepositMergePhase(),
+        ingest,
+        FaultyRoundExecutionPhase(ingest),
+        FaultySummarySyncPhase(),
+        FaultyPruneRecoveryPhase(),
+    )

@@ -13,7 +13,10 @@ loop made awkward.
 * ``arrivals`` — bursty and diurnal arrival processes
   (:mod:`repro.workload.arrivals`) against the constant-rate baseline.
 
-All four derive per-point seeds from the runner's deterministic
+The fault-injection scenarios (``partition_heal``, ``crash_churn``,
+``delta_sweep``, ``interrupted_recovery``) live in
+:mod:`repro.scenarios.faults` and register through the same builder
+tuple.  All derive per-point seeds from the runner's deterministic
 substreams, so tables are stable across runs and job counts.
 """
 
@@ -377,10 +380,15 @@ def arrivals_spec() -> ScenarioSpec:
     )
 
 
-#: Builders for the extra scenarios, in listing order.
+#: Builders for the extra scenarios, in listing order.  The fault-injection
+#: scenarios (partition_heal, crash_churn, delta_sweep,
+#: interrupted_recovery) live in :mod:`repro.scenarios.faults` and register
+#: through the same tuple.
+from repro.scenarios.faults import FAULT_SPEC_BUILDERS  # noqa: E402
+
 EXTRA_SPEC_BUILDERS = (
     multipool_spec,
     adversarial_spec,
     pbft_adversary_spec,
     arrivals_spec,
-)
+) + FAULT_SPEC_BUILDERS

@@ -9,6 +9,16 @@ handling interruptions).
 
 Every vote is Schnorr-signed and signatures are verified on receipt, so
 the decided block is backed by a verifiable quorum certificate.
+
+Fault injection: pass a :class:`~repro.faults.driver.FaultDriver` as
+``faults`` (and install the same driver on the network).  A crashed
+member proposes nothing, votes nothing and processes nothing while down;
+at recovery it re-arms its view timeout and rejoins the protocol
+mid-flight — while agreement is still in progress.  A node that was down
+when the commit quorum flew cannot decide retroactively (commits are not
+retransmitted), exactly like a real replica that missed the round.
+Member corruptions declared in the plan merge under any explicitly
+passed ``behaviors``.
 """
 
 from __future__ import annotations
@@ -68,6 +78,11 @@ class _NodeState:
     sent_commit: set[int] = field(default_factory=set)
     sent_view_change: set[int] = field(default_factory=set)
     decided: bool = False
+    #: What this node committed — (view, digest, proposal); the safety
+    #: invariant is that no two nodes' triples carry different digests.
+    decided_view: int = -1
+    decided_digest: bytes = b""
+    decided_proposal: Any = None
 
 
 class PbftRound:
@@ -90,6 +105,7 @@ class PbftRound:
         validator: Callable[[Any], bool],
         behaviors: dict[str, "NodeBehavior"] | None = None,
         endpoint_prefix: str = "pbft",
+        faults=None,
     ) -> None:
         self.config = config
         self.network = network
@@ -97,11 +113,17 @@ class PbftRound:
         self.keypairs = keypairs
         self.proposer_fn = proposer_fn
         self.validator = validator
-        self.behaviors = behaviors or {}
+        self.faults = faults if faults is not None and not faults.plan.is_empty() else None
+        # Plan-declared corruptions apply first; explicit behaviors win.
+        self.behaviors = dict(self.faults.behaviors) if self.faults else {}
+        self.behaviors.update(behaviors or {})
         self.prefix = endpoint_prefix
         self.states: dict[str, _NodeState] = {m: _NodeState() for m in config.members}
         self.outcome = ConsensusOutcome(decided=False)
         self._timeout_events: dict[str, Any] = {}
+        self._closed = False
+        self._verified: dict[tuple, bool] = {}
+        self._vc_messages: dict[tuple[str, int], PbftMessage] = {}
         for member in config.members:
             self.network.register(
                 self._endpoint(member),
@@ -112,6 +134,14 @@ class PbftRound:
 
     def start(self) -> None:
         """Kick off view 0: the leader proposes, everyone arms a timeout."""
+        if self.faults is not None:
+            for time, node in self.faults.recoveries():
+                if node in self.states:
+                    self.scheduler.schedule_at(
+                        max(time, self.scheduler.clock.now),
+                        lambda n=node: self._on_recover(n),
+                        label=f"pbft:recover:{node}",
+                    )
         for member in self.config.members:
             self._arm_timeout(member, view=0)
         self._leader_propose(view=0)
@@ -134,13 +164,28 @@ class PbftRound:
 
     def close(self) -> None:
         """Unregister endpoints so another instance can reuse the network."""
+        self._closed = True
         for member in self.config.members:
             self.network.unregister(self._endpoint(member))
+
+    def decisions(self) -> dict[str, tuple[int, bytes, Any]]:
+        """Each decided member's ``(view, digest, proposal)`` commit.
+
+        The safety invariant of the property suite: all digests agree.
+        """
+        return {
+            member: (state.decided_view, state.decided_digest,
+                     state.decided_proposal)
+            for member, state in self.states.items()
+            if state.decided
+        }
 
     # -- leader side -----------------------------------------------------------------
 
     def _leader_propose(self, view: int) -> None:
         leader = self.config.leader(view)
+        if self._down(leader):
+            return  # crashed leader: timeouts will trigger view change
         behavior = self.behaviors.get(leader)
         if behavior is not None and behavior.silent_as_leader:
             return  # unresponsive leader: timeouts will trigger view change
@@ -165,6 +210,8 @@ class PbftRound:
     # -- message handling ----------------------------------------------------------------
 
     def _on_message(self, member: str, raw) -> None:
+        if self._down(member):
+            return  # belt and braces: the network already drops these
         msg: PbftMessage = raw.payload
         if not self._verify(msg):
             return
@@ -243,6 +290,9 @@ class PbftRound:
             state.decided = True
             self._cancel_timeout(member)
             proposal = state.proposal_by_view.get(msg.view)
+            state.decided_view = msg.view
+            state.decided_digest = msg.digest
+            state.decided_proposal = proposal
             if not self.outcome.decided:
                 self.outcome.decided = True
                 self.outcome.proposal = proposal
@@ -266,21 +316,37 @@ class PbftRound:
 
     def _send_view_change(self, member: str, new_view: int) -> None:
         state = self.states[member]
-        if state.decided or new_view in state.sent_view_change:
+        if state.decided:
+            return
+        if new_view in state.sent_view_change:
+            if self.faults is not None:
+                # Fault mode models the transport's retry layer: votes
+                # lost to a partition or crash are re-broadcast, so a
+                # healed network regains liveness.  Signing is
+                # deterministic — the retransmission is byte-identical.
+                self._broadcast(member, self._view_change_msg(member, new_view))
             return
         state.sent_view_change.add(new_view)
-        msg = PbftMessage(
-            phase=PbftPhase.VIEW_CHANGE,
-            view=new_view,
-            sender=member,
-            digest=b"",
-            signature=self.keypairs[member].sign(b"view-change", new_view),
-        )
-        self._broadcast(member, msg)
+        self._broadcast(member, self._view_change_msg(member, new_view))
         voters = state.view_change_votes.setdefault(new_view, set())
         voters.add(member)
         if len(voters) >= self.config.quorum:
             self._enter_view(member, new_view)
+
+    def _view_change_msg(self, member: str, new_view: int) -> PbftMessage:
+        # Signing is deterministic, so the vote is built (and signed) once;
+        # retransmissions reuse it verbatim.
+        msg = self._vc_messages.get((member, new_view))
+        if msg is None:
+            msg = PbftMessage(
+                phase=PbftPhase.VIEW_CHANGE,
+                view=new_view,
+                sender=member,
+                digest=b"",
+                signature=self.keypairs[member].sign(b"view-change", new_view),
+            )
+            self._vc_messages[(member, new_view)] = msg
+        return msg
 
     def _enter_view(self, member: str, view: int) -> None:
         state = self.states[member]
@@ -316,10 +382,50 @@ class PbftRound:
         state = self.states[member]
         if state.decided or state.view != view:
             return
+        if self._down(member):
+            return  # a crashed node's timer does not vote
         behavior = self.behaviors.get(member)
         if behavior is not None and behavior.withhold_votes:
             return
         self._send_view_change(member, view + 1)
+        if (
+            self.faults is not None
+            and not self._closed
+            and not state.decided
+            and state.view == view
+            and not self.outcome.decided
+        ):
+            # Fault mode: a node still stuck in the same view keeps its
+            # timer running and retries, so votes lost to partitions or
+            # crashes are eventually re-broadcast (see _send_view_change).
+            # If the view-change vote above just advanced the view,
+            # _enter_view already armed the new view's timer — leave it.
+            # Once the instance has decided globally, retries stop too:
+            # commits are not retransmitted, so a node that missed them
+            # can never catch up and its retries would only keep the
+            # event queue alive until max_time.
+            self._arm_timeout(member, view)
+
+    # -- fault injection -------------------------------------------------------
+
+    def _down(self, member: str) -> bool:
+        return self.faults is not None and self.faults.is_crashed(
+            member, self.scheduler.clock.now
+        )
+
+    def _on_recover(self, member: str) -> None:
+        """A crashed member comes back: re-arm its timeout and rejoin.
+
+        The node kept its pre-crash state (in-memory protocol state
+        survives a process restart from its log); everything it missed
+        while down is gone — view changes are how it catches up.
+        """
+        if self._closed:
+            return
+        state = self.states[member]
+        if state.decided:
+            return
+        self._arm_timeout(member, state.view)
 
     # -- plumbing -------------------------------------------------------------------------
 
@@ -340,6 +446,18 @@ class PbftRound:
         keypair = self.keypairs.get(msg.sender)
         if keypair is None or msg.signature is None:
             return False
+        # A broadcast (or a fault-mode retransmission) delivers the same
+        # signed message to every member; verify each distinct one once.
+        key = (msg.sender, msg.phase, msg.view, msg.digest,
+               msg.signature.s, msg.signature.e)
+        cached = self._verified.get(key)
+        if cached is not None:
+            return cached
+        result = self._verify_uncached(keypair, msg)
+        self._verified[key] = result
+        return result
+
+    def _verify_uncached(self, keypair: KeyPair, msg: PbftMessage) -> bool:
         if msg.phase is PbftPhase.PRE_PREPARE:
             parts = (b"pre-prepare", msg.view, msg.digest)
         elif msg.phase is PbftPhase.PREPARE:
@@ -348,7 +466,11 @@ class PbftRound:
             parts = (b"commit", msg.view, msg.digest)
         else:
             parts = (b"view-change", msg.view)
-        return verify_signature(keypair.pk, msg.signature, *parts)
+        # Verify against the signer's own group (identical for the default
+        # group; lets fast-group keypairs drive large property suites).
+        return verify_signature(
+            keypair.pk, msg.signature, *parts, group=keypair.group
+        )
 
     @staticmethod
     def _digest(proposal: Any) -> bytes:

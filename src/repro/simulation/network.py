@@ -3,6 +3,13 @@
 Models the paper's network assumption (Section III): any sent message is
 delivered within Δ seconds, and the adversary may reorder and delay
 messages up to that bound.
+
+Fault injection: a :class:`~repro.faults.driver.FaultDriver` installed
+with :meth:`Network.install_faults` is consulted on every send (crashes,
+partitions, probabilistic drops, extra delay — clamped to Δ where the
+plan says the bound holds) and on every delivery (a message in flight is
+lost if its landing spot is faulted).  With no driver installed the code
+path — including every RNG draw — is identical to the fault-free engine.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ class Network:
         self.config = config if config is not None else NetworkConfig()
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._adversary_delay: DelayHook | None = None
+        self._faults = None
         self._partitioned: set[str] = set()
         self.delivered_count = 0
         self.dropped_count = 0
@@ -87,6 +95,16 @@ class Network:
     def set_adversary_delay(self, hook: DelayHook | None) -> None:
         """Install (or clear) an adversarial extra-delay hook."""
         self._adversary_delay = hook
+
+    def install_faults(self, driver) -> None:
+        """Attach a :class:`~repro.faults.driver.FaultDriver` (None detaches).
+
+        A driver compiled from an empty plan is normalised to None so the
+        hot path stays branch-free for fault-free runs.
+        """
+        if driver is not None and driver.plan.is_empty():
+            driver = None
+        self._faults = driver
 
     def partition(self, name: str) -> None:
         """Crash-partition an endpoint: its inbound messages are dropped.
@@ -122,6 +140,16 @@ class Network:
         if self._adversary_delay is not None:
             extra = max(0.0, self._adversary_delay(msg))
             delay = min(self.config.delta_bound, delay + extra)
+        if self._faults is not None:
+            verdict = self._faults.outbound(
+                msg, self.scheduler.clock.now, delay, self.config
+            )
+            if verdict is None:
+                # Sender down, partition cut, or a planned drop: the
+                # message never makes it onto the wire.
+                self.dropped_count += 1
+                return msg
+            delay = verdict
         self.scheduler.schedule_after(
             delay, lambda: self._deliver(msg), label=f"net:{kind}"
         )
@@ -144,6 +172,11 @@ class Network:
 
     def _deliver(self, msg: Message) -> None:
         if msg.recipient in self._partitioned:
+            self.dropped_count += 1
+            return
+        if self._faults is not None and self._faults.blocks_delivery(
+            msg, self.scheduler.clock.now
+        ):
             self.dropped_count += 1
             return
         handler = self._handlers.get(msg.recipient)

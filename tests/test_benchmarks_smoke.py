@@ -36,6 +36,7 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
         "mint_burn_cycle",
         "executor_round",
         "system_epoch",
+        "pbft_round",
     }
     assert set(report["scenarios"]) == expected
     for name, result in report["scenarios"].items():

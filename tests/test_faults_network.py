@@ -1,0 +1,185 @@
+"""FaultDriver ↔ Network integration: partitions, crashes, delays, drops."""
+
+import pytest
+
+from repro.faults import Crash, Delay, Drop, FaultDriver, FaultPlan, Partition
+from repro.simulation.clock import SimClock
+from repro.simulation.events import EventScheduler
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.rng import DeterministicRng
+
+
+def make_network(plan=None, config=None, seed=1):
+    scheduler = EventScheduler(SimClock())
+    network = Network(scheduler, DeterministicRng(seed), config=config)
+    driver = None
+    if plan is not None:
+        driver = FaultDriver(plan, rng=DeterministicRng(f"{seed}/faults"))
+        network.install_faults(driver)
+    return scheduler, network, driver
+
+
+def register_sink(network, name, log):
+    network.register(name, lambda msg: log.append((msg.kind, msg.delivered_at)))
+
+
+def test_empty_plan_driver_is_normalised_away():
+    _, network, _ = make_network(plan=FaultPlan())
+    assert network._faults is None
+
+
+def test_empty_plan_leaves_delivery_stream_bit_identical():
+    """Installing an empty plan must not perturb a single RNG draw."""
+    received_a, received_b = [], []
+    sched_a, net_a, _ = make_network()
+    sched_b, net_b, _ = make_network(plan=FaultPlan())
+    register_sink(net_a, "n", received_a)
+    register_sink(net_b, "n", received_b)
+    for i in range(20):
+        net_a.send("m", "n", f"k{i}", None)
+        net_b.send("m", "n", f"k{i}", None)
+    sched_a.run()
+    sched_b.run()
+    assert received_a == received_b
+
+
+def test_partition_cuts_both_directions_and_heals():
+    plan = FaultPlan(
+        (Partition(start=0.0, end=5.0, members=frozenset({"b"})),)
+    )
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "pfx:a", log)
+    register_sink(network, "pfx:b", log)
+    network.send("pfx:a", "pfx:b", "cut-out", None)
+    network.send("pfx:b", "pfx:a", "cut-in", None)
+    scheduler.run_until(4.0)
+    assert log == []
+    assert network.dropped_count == 2
+    scheduler.clock.advance_to(6.0)
+    network.send("pfx:a", "pfx:b", "healed", None)
+    scheduler.run()
+    assert [kind for kind, _ in log] == ["healed"]
+
+
+def test_partition_does_not_cut_same_side_traffic():
+    plan = FaultPlan(
+        (Partition(start=0.0, end=5.0, members=frozenset({"a", "b"})),)
+    )
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    register_sink(network, "x:b", log)
+    network.send("x:a", "x:b", "intra", None)
+    scheduler.run()
+    assert [kind for kind, _ in log] == ["intra"]
+
+
+def test_crashed_sender_and_recipient_lose_messages():
+    plan = FaultPlan((Crash(start=0.0, node="b", end=5.0),))
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    register_sink(network, "x:b", log)
+    network.send("x:b", "x:a", "from-crashed", None)
+    network.send("x:a", "x:b", "to-crashed", None)
+    scheduler.run()
+    assert log == []
+    assert network.dropped_count == 2
+
+
+def test_message_in_flight_when_recipient_crashes_is_lost():
+    plan = FaultPlan((Crash(start=0.05, node="b", end=5.0),))
+    config = NetworkConfig(base_delay=0.2, jitter=0.0)
+    scheduler, network, _ = make_network(plan, config=config)
+    log = []
+    register_sink(network, "x:b", log)
+    network.send("x:a", "x:b", "in-flight", None)  # sent at 0, lands at 0.2
+    scheduler.run()
+    assert log == []
+
+
+def test_delay_respecting_delta_is_clamped():
+    plan = FaultPlan((Delay(start=0.0, end=10.0, extra=50.0),))
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    network.send("x:b", "x:a", "slow", None)
+    scheduler.run()
+    assert len(log) == 1
+    assert log[0][1] == pytest.approx(network.config.delta_bound)
+
+
+def test_delay_violating_delta_exceeds_the_bound():
+    plan = FaultPlan(
+        (Delay(start=0.0, end=10.0, extra=5.0, respect_delta=False),)
+    )
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    network.send("x:b", "x:a", "very-slow", None)
+    scheduler.run()
+    assert log[0][1] > network.config.delta_bound
+
+
+def test_delay_filters_by_recipient():
+    plan = FaultPlan(
+        (Delay(start=0.0, end=10.0, extra=0.8, recipient="a"),)
+    )
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    register_sink(network, "x:b", log)
+    network.send("x:c", "x:a", "slowed", None)
+    network.send("x:c", "x:b", "normal", None)
+    scheduler.run()
+    delivered = dict(log)
+    assert delivered["slowed"] > delivered["normal"]
+
+
+def test_drop_fraction_one_loses_all_matching_messages():
+    plan = FaultPlan((Drop(start=0.0, end=10.0, fraction=1.0, recipient="a"),))
+    scheduler, network, driver = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    register_sink(network, "x:b", log)
+    for _ in range(10):
+        network.send("x:c", "x:a", "dropped", None)
+        network.send("x:c", "x:b", "kept", None)
+    scheduler.run()
+    assert [kind for kind, _ in log] == ["kept"] * 10
+    assert driver.dropped_by_fault == 10
+
+
+def test_drop_fraction_draws_from_driver_stream_not_network_stream():
+    """A drop plan must not shift the delivery jitter of surviving traffic."""
+    def drive(plan):
+        sched, net, _ = make_network(plan)
+        log = []
+        register_sink(net, "x:b", log)
+        for i in range(10):
+            # Matching traffic burns drop draws in the faulty run...
+            net.send("x:c", "x:a", "noise", None)
+            # ...which must not shift the jitter of the surviving traffic.
+            net.send("x:c", "x:b", f"k{i}", None)
+        sched.run()
+        return [t for k, t in log if k != "noise"]
+
+    plan = FaultPlan((Drop(start=0.0, end=10.0, fraction=0.5, recipient="a"),))
+    assert drive(None) == drive(plan)
+
+
+def test_events_outside_their_window_do_nothing():
+    plan = FaultPlan(
+        (
+            Partition(start=10.0, end=20.0, members=frozenset({"a"})),
+            Crash(start=10.0, node="b", end=20.0),
+            Drop(start=10.0, end=20.0, fraction=1.0),
+        )
+    )
+    scheduler, network, _ = make_network(plan)
+    log = []
+    register_sink(network, "x:a", log)
+    network.send("x:b", "x:a", "early", None)
+    scheduler.run()
+    assert [kind for kind, _ in log] == ["early"]
