@@ -10,12 +10,27 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --gate     # CI gate
     PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --store .repro-results
 
 The JSON also records the seed-commit baseline (measured on the same
 scenario definitions before the fast-path work landed) and the speedup of
 the current tree against it.  Interpretation notes live in
 ``benchmarks/README.md``.
+
+``--gate`` is the CI regression-gate mode: calibrated like a full run but
+with a shorter inner loop (~0.05 s) and two repeats — stable enough to
+compare against the committed ``BENCH_amm.json`` under a generous
+tolerance, cheap enough for every pull request::
+
+    python -m repro.experiments compare BENCH_amm.json fresh.json \
+        --rtol 0.30 --fail-low-only
+
+``--store DIR`` additionally persists each measurement as a
+content-addressed artifact (plus a run manifest) in the same store
+format the experiment CLI writes, so ``compare`` works on benchmark
+stores exactly like on scenario stores.
 """
 
 from __future__ import annotations
@@ -80,21 +95,31 @@ def _time_once(op, iterations: int) -> float:
     return time.perf_counter() - start
 
 
-def measure(op, quick: bool) -> dict:
+#: Measurement modes: (per-repeat target seconds, repeats).  ``quick`` is a
+#: one-shot smoke (numbers are noisy); ``gate`` is calibrated but short —
+#: stable enough for a tolerance-gated comparison on every PR.
+MODES = {
+    "full": (0.25, 3),
+    "gate": (0.05, 2),
+    "quick": (None, 1),
+}
+
+
+def measure(op, mode: str = "full") -> dict:
     """Best-of-N repeats of a calibrated inner loop; returns ops/sec."""
     scale = getattr(op, "scale", 1)
-    if quick:
-        iterations, repeats = 1, 1
+    target, repeats = MODES[mode]
+    if target is None:
+        iterations = 1
     else:
-        # Calibrate the inner loop to ~0.25s per repeat.
+        # Calibrate the inner loop to ~`target` seconds per repeat.
         iterations = 1
         while True:
             elapsed = _time_once(op, iterations)
             if elapsed >= 0.05 or iterations >= 1 << 16:
                 break
             iterations *= 4
-        iterations = max(1, int(iterations * 0.25 / max(elapsed, 1e-9)))
-        repeats = 3
+        iterations = max(1, int(iterations * target / max(elapsed, 1e-9)))
     best = min(_time_once(op, iterations) for _ in range(repeats))
     per_op = best / iterations
     return {
@@ -105,17 +130,78 @@ def measure(op, quick: bool) -> dict:
     }
 
 
-def run(names: list[str], quick: bool) -> dict:
+def run(names: list[str], mode: str) -> dict:
     results = {}
     for name in names:
         factory = SCENARIOS[name]
         op = factory()
-        results[name] = measure(op, quick)
+        results[name] = measure(op, mode)
         print(
             f"{name:24s} {results[name]['ops_per_sec']:>14,.0f} ops/s",
             file=sys.stderr,
         )
     return results
+
+
+def write_store_records(store_dir: Path, results: dict, mode: str) -> None:
+    """Persist measurements as content-addressed artifacts + a manifest.
+
+    Uses the same store format as ``python -m repro.experiments --out``, so
+    ``python -m repro.experiments compare <store> <store>`` works on
+    benchmark runs too (the manifest exposes one ``benchmarks`` table).
+    """
+    from repro.results.fingerprint import fingerprint, point_key_material
+    from repro.results.store import ArtifactStore, PointArtifact
+
+    store = ArtifactStore(store_dir)
+    points = []
+    for name, result in results.items():
+        material = point_key_material(
+            f"bench:{name}",
+            {"mode": mode},
+            point_fn=SCENARIOS[name],
+            scale=None,
+            base_seed="bench",
+            env_scale_boost=1,
+            headers=("scenario", "ops_per_sec"),
+        )
+        key = fingerprint(material)
+        store.save_point(
+            PointArtifact(
+                key=key,
+                scenario=f"bench:{name}",
+                point_index=0,
+                params={"mode": mode},
+                result=result,
+                key_material=material,
+                wall_clock_s=result["seconds_per_op"] * result["iterations"],
+            )
+        )
+        points.append(
+            {"scenario": f"bench:{name}", "index": 0, "key": key, "ok": True,
+             "cached": False, "stored": True}
+        )
+    store.write_manifest(
+        {
+            "invocation": ["benchmarks/run_benchmarks.py", "--mode", mode],
+            "scenarios": sorted(results),
+            "points": points,
+            "results": {
+                "benchmarks": {
+                    "experiment_id": "benchmarks",
+                    "title": "AMM engine benchmark suite",
+                    "headers": ["scenario", "ops_per_sec"],
+                    "rows": [
+                        [name, results[name]["ops_per_sec"]]
+                        for name in sorted(results)
+                    ],
+                    "notes": f"mode={mode}",
+                }
+            },
+        }
+    )
+    print(f"stored {len(points)} benchmark artifact(s) in {store_dir}",
+          file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,6 +210,19 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="run each benchmark once (CI smoke check, numbers are noisy)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="calibrated short run (CI regression gate; see module docstring)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also persist measurements into a content-addressed artifact "
+        "store (same format as `python -m repro.experiments --out`)",
     )
     parser.add_argument(
         "-o",
@@ -139,9 +238,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the named scenario(s); may repeat",
     )
     args = parser.parse_args(argv)
+    if args.quick and args.gate:
+        parser.error("--quick and --gate are mutually exclusive")
+    mode = "quick" if args.quick else "gate" if args.gate else "full"
 
     names = args.scenario or list(SCENARIOS)
-    results = run(names, quick=args.quick)
+    results = run(names, mode)
 
     speedups = {}
     for name, result in results.items():
@@ -153,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         "schema": 1,
         "suite": "amm_engine",
         "quick": args.quick,
+        "mode": mode,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -162,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
+    if args.store is not None:
+        write_store_records(args.store, results, mode)
     return 0
 
 

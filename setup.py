@@ -1,5 +1,39 @@
-"""Legacy setup shim so editable installs work without the wheel package."""
+"""Packaging for the ammBoost reproduction.
 
-from setuptools import setup
+The single source of truth for install/test/lint dependencies — every CI
+job installs through these extras instead of ad-hoc pip lists::
 
-setup()
+    pip install -e .            # runtime only (stdlib-pure)
+    pip install -e .[test]      # + pytest, hypothesis, pytest-cov
+    pip install -e .[lint]      # + ruff, mypy
+    pip install -e .[dev]       # everything
+"""
+
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_version: dict = {}
+exec((Path(__file__).parent / "src" / "repro" / "version.py").read_text(), _version)
+
+TEST_REQUIRES = ["pytest>=7", "hypothesis>=6", "pytest-cov>=4"]
+LINT_REQUIRES = ["ruff>=0.4", "mypy>=1.8"]
+
+setup(
+    name="repro-ammboost",
+    version=_version["__version__"],
+    description=(
+        "Reproduction of ammBoost (DSN 2025): sidechain-boosted AMM state "
+        "growth control, with a scenario engine, fault injection, and a "
+        "content-addressed experiment artifact store"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=[],  # runtime is stdlib-only by design
+    extras_require={
+        "test": TEST_REQUIRES,
+        "lint": LINT_REQUIRES,
+        "dev": TEST_REQUIRES + LINT_REQUIRES,
+    },
+)

@@ -1,0 +1,49 @@
+"""Durable experiment artifacts: content-addressed results + regression diffs.
+
+Three pieces (see ``src/repro/results/README.md`` for the formats):
+
+* :mod:`repro.results.store` — :class:`ArtifactStore`: every scenario
+  grid point persisted as a JSON artifact keyed by
+  ``(scenario, point-params, config-fingerprint, code-version)``, plus a
+  manifest per run.  The :class:`~repro.scenarios.runner.ScenarioRunner`
+  writes/reads it for ``--out`` / ``--resume``.
+* :mod:`repro.results.compare` — tolerance-aware diffing of any two
+  result sets (store dirs, run manifests, golden fixtures, benchmark
+  reports); backs ``repro.experiments compare``.
+* :mod:`repro.results.baseline` — golden-fixture export/check under
+  ``tests/golden/`` (imported lazily here: it pulls in the scenario
+  registry, and :mod:`repro.scenarios.runner` imports this package, so a
+  top-level import would be circular).
+"""
+
+from repro.results.compare import (
+    DEFAULT_IGNORED_COLUMNS,
+    Drift,
+    compare_tables,
+    format_report,
+    load_result_set,
+)
+from repro.results.fingerprint import (
+    canonical_json,
+    code_version,
+    fingerprint,
+    point_key,
+    point_key_material,
+)
+from repro.results.store import ArtifactStore, NotSerializable, PointArtifact
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_IGNORED_COLUMNS",
+    "Drift",
+    "NotSerializable",
+    "PointArtifact",
+    "canonical_json",
+    "code_version",
+    "compare_tables",
+    "fingerprint",
+    "format_report",
+    "load_result_set",
+    "point_key",
+    "point_key_material",
+]

@@ -1,0 +1,233 @@
+"""Diff two result sets with per-column tolerances.
+
+``repro.experiments compare A B`` guards the paper tables and the
+benchmark trajectory against silent numeric drift: it normalises both
+sides into ``{table: {headers, rows}}``, aligns rows by their first
+column, compares numeric cells under a relative/absolute tolerance, and
+exits non-zero when anything drifted.
+
+Either side may be:
+
+* an artifact-store directory (``.repro-results/`` — the latest run
+  manifest is compared);
+* a run-manifest JSON file (``.repro-results/runs/<id>.json``);
+* a golden baseline file (``tests/golden/<scenario>.json``) or a
+  directory of them (``tests/golden/``);
+* a benchmark report (``BENCH_amm.json`` from
+  ``benchmarks/run_benchmarks.py`` — scenarios become one table keyed by
+  name with an ``ops_per_sec`` column).
+
+Comparison is baseline-first: ``A`` is the reference, ``B`` the
+candidate.  Tables or rows missing from the candidate are drift; tables
+or rows *added* by the candidate are reported but tolerated (a new
+benchmark scenario must not fail the gate for old ones).  With
+``--fail-low-only`` numeric cells only drift when the candidate is
+*below* the tolerance band — the shape the throughput gate wants, where
+getting faster is never a failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Columns never worth diffing (measurement bookkeeping, not results).
+DEFAULT_IGNORED_COLUMNS = frozenset(
+    {"seconds_per_op", "iterations", "repeats", "wall_clock_s"}
+)
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One detected difference between baseline and candidate."""
+
+    table: str
+    row: str
+    column: str
+    baseline: Any
+    candidate: Any
+    kind: str = "value"  # value | missing-table | missing-row | shape
+
+    def describe(self) -> str:
+        if self.kind == "missing-table":
+            return f"[{self.table}] table missing from candidate"
+        if self.kind == "missing-row":
+            return f"[{self.table}] row {self.row!r} missing from candidate"
+        if self.kind == "shape":
+            return (
+                f"[{self.table}] shape mismatch at {self.row!r}: "
+                f"baseline {self.baseline!r} vs candidate {self.candidate!r}"
+            )
+        rel = _relative_delta(self.baseline, self.candidate)
+        rel_text = f" ({rel:+.3%})" if rel is not None else ""
+        return (
+            f"[{self.table}] {self.row!r} · {self.column}: "
+            f"baseline {self.baseline!r} vs candidate {self.candidate!r}{rel_text}"
+        )
+
+
+def _relative_delta(a: Any, b: Any) -> float | None:
+    if _is_number(a) and _is_number(b) and a != 0:
+        return (b - a) / abs(a)
+    return None
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# -- normalisation -------------------------------------------------------------
+
+
+def _table_from_result(name: str, result: Mapping[str, Any]) -> dict:
+    return {
+        "headers": list(result.get("headers", [])),
+        "rows": [list(row) for row in result.get("rows", [])],
+    }
+
+
+def _normalize_document(doc: Mapping[str, Any], origin: str) -> dict[str, dict]:
+    """One parsed JSON document -> ``{table_name: {headers, rows}}``."""
+    if doc.get("kind") == "golden" and "scenario" in doc:
+        return {doc["scenario"]: _table_from_result(doc["scenario"], doc)}
+    if "results" in doc and isinstance(doc["results"], Mapping):  # run manifest
+        return {
+            name: _table_from_result(name, result)
+            for name, result in doc["results"].items()
+        }
+    if "scenarios" in doc and isinstance(doc["scenarios"], Mapping):  # bench report
+        rows = [
+            [name, entry["ops_per_sec"]]
+            for name, entry in sorted(doc["scenarios"].items())
+            if isinstance(entry, Mapping) and "ops_per_sec" in entry
+        ]
+        return {"benchmarks": {"headers": ["scenario", "ops_per_sec"], "rows": rows}}
+    raise ValueError(
+        f"{origin}: unrecognised result document (expected a golden file, "
+        "a run manifest, or a benchmark report)"
+    )
+
+
+def load_result_set(path: str | Path) -> dict[str, dict]:
+    """Load any supported result-set shape into ``{table: {headers, rows}}``."""
+    path = Path(path)
+    if path.is_dir():
+        runs = path / "runs"
+        if runs.is_dir():  # artifact store: compare its latest manifest
+            manifests = sorted(runs.glob("*.json"))
+            if not manifests:
+                raise ValueError(f"{path}: artifact store has no run manifests")
+            return load_result_set(manifests[-1])
+        tables: dict[str, dict] = {}
+        files = sorted(path.glob("*.json"))
+        if not files:
+            raise ValueError(f"{path}: no .json result documents found")
+        for file in files:
+            tables.update(load_result_set(file))
+        return tables
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, Mapping):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return _normalize_document(doc, str(path))
+
+
+def _keyed_rows(rows: list[list]) -> dict[str, list]:
+    """Index rows by first column, suffixing duplicates with ``#n``."""
+    keyed: dict[str, list] = {}
+    for row in rows:
+        base = str(row[0]) if row else ""
+        key, n = base, 1
+        while key in keyed:
+            n += 1
+            key = f"{base}#{n}"
+        keyed[key] = row
+    return keyed
+
+
+# -- comparison ----------------------------------------------------------------
+
+
+def compare_tables(
+    baseline: Mapping[str, dict],
+    candidate: Mapping[str, dict],
+    *,
+    rtol: float = 1e-9,
+    atol: float = 0.0,
+    column_rtol: Mapping[str, float] | None = None,
+    ignore_columns: frozenset[str] | set[str] = DEFAULT_IGNORED_COLUMNS,
+    fail_low_only: bool = False,
+) -> tuple[list[Drift], list[str]]:
+    """Compare candidate against baseline; returns ``(drifts, notes)``."""
+    column_rtol = dict(column_rtol or {})
+    drifts: list[Drift] = []
+    notes: list[str] = []
+
+    for extra in sorted(set(candidate) - set(baseline)):
+        notes.append(f"[{extra}] only in candidate (ignored)")
+
+    for name in baseline:
+        if name not in candidate:
+            drifts.append(Drift(name, "", "", None, None, kind="missing-table"))
+            continue
+        a_table, b_table = baseline[name], candidate[name]
+        headers = [str(h) for h in a_table["headers"]]
+        if [str(h) for h in b_table["headers"]] != headers:
+            drifts.append(
+                Drift(
+                    name, "<headers>", "", a_table["headers"],
+                    b_table["headers"], kind="shape",
+                )
+            )
+            continue
+        a_rows, b_rows = _keyed_rows(a_table["rows"]), _keyed_rows(b_table["rows"])
+        for extra in sorted(set(b_rows) - set(a_rows)):
+            notes.append(f"[{name}] row {extra!r} only in candidate (ignored)")
+        for row_key, a_row in a_rows.items():
+            if row_key not in b_rows:
+                drifts.append(Drift(name, row_key, "", None, None, kind="missing-row"))
+                continue
+            b_row = b_rows[row_key]
+            if len(a_row) != len(b_row):
+                drifts.append(Drift(name, row_key, "", a_row, b_row, kind="shape"))
+                continue
+            for col, (a_cell, b_cell) in enumerate(zip(a_row, b_row)):
+                column = headers[col] if col < len(headers) else f"col{col}"
+                if column in ignore_columns:
+                    continue
+                drift = _compare_cell(
+                    a_cell, b_cell,
+                    rtol=column_rtol.get(column, rtol), atol=atol,
+                    fail_low_only=fail_low_only,
+                )
+                if drift:
+                    drifts.append(Drift(name, row_key, column, a_cell, b_cell))
+    return drifts, notes
+
+
+def _compare_cell(
+    a: Any, b: Any, *, rtol: float, atol: float, fail_low_only: bool
+) -> bool:
+    """True when the candidate cell drifted outside tolerance."""
+    if _is_number(a) and _is_number(b):
+        band = atol + rtol * abs(a)
+        if fail_low_only:
+            return b < a - band
+        return abs(b - a) > band
+    return a != b  # non-numeric cells must match exactly
+
+
+def format_report(drifts: list[Drift], notes: list[str]) -> str:
+    lines = [note for note in notes]
+    lines.extend(drift.describe() for drift in drifts)
+    if drifts:
+        lines.append(f"{len(drifts)} drifting cell(s)/row(s) detected")
+    else:
+        lines.append("no drift detected")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Canonical hashing for artifact keys.
+
+A stored grid point must be reusable *only* when re-running it would
+provably produce the same bytes.  The key therefore covers everything
+that feeds the point function:
+
+* the scenario name and the fully-enriched ``params`` dict (grid entry
+  plus runner-injected ``seed``/``scale``);
+* the run configuration the runner does not inject into params — the
+  CLI ``--scale`` override, the base seed the substream seeds derive
+  from, and the ``REPRO_FAST`` volume boost (it changes scaled configs
+  *inside* the point at run time);
+* the code version: the package version plus a hash of the point
+  function's own source, so editing a point function invalidates its
+  artifacts even between releases.
+
+Hashes are SHA-256 over a canonical JSON encoding (sorted keys, no
+whitespace), so keys are stable across processes, machines and dict
+insertion orders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from typing import Any, Callable, Mapping
+
+from repro.version import __version__
+
+#: Bump when the key material layout changes (invalidates all artifacts).
+KEY_SCHEMA = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True, default=_coerce
+    )
+
+
+def _coerce(value: Any) -> str:
+    """Fallback encoder for key material (params may hold odd scalars)."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def source_hash(fn: Callable) -> str:
+    """Hash of a function's source text ('' when the source is unavailable)."""
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        return ""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def code_version() -> str:
+    return __version__
+
+
+def point_key_material(
+    scenario: str,
+    params: Mapping[str, Any],
+    *,
+    point_fn: Callable,
+    scale: int | None,
+    base_seed: int | str,
+    env_scale_boost: int,
+    headers: tuple[str, ...] = (),
+) -> dict:
+    """The dict whose fingerprint is a grid point's artifact key."""
+    return {
+        "schema": KEY_SCHEMA,
+        "scenario": scenario,
+        "params": dict(params),
+        "config": {
+            "scale": scale,
+            "base_seed": str(base_seed),
+            "env_scale_boost": env_scale_boost,
+            "headers": list(headers),
+            "point_fn": f"{getattr(point_fn, '__module__', '?')}:"
+            f"{getattr(point_fn, '__qualname__', repr(point_fn))}",
+            "point_src": source_hash(point_fn),
+        },
+        "code_version": code_version(),
+    }
+
+
+def point_key(
+    scenario: str,
+    params: Mapping[str, Any],
+    **kwargs: Any,
+) -> str:
+    """Content-addressed key for one grid point (SHA-256 hex)."""
+    return fingerprint(point_key_material(scenario, params, **kwargs))

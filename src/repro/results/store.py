@@ -1,0 +1,183 @@
+"""Content-addressed store for experiment artifacts.
+
+Layout under the store root (default ``.repro-results/``)::
+
+    objects/<k[:2]>/<key>.json   one artifact per grid point, key = SHA-256
+                                 of the point's key material (see
+                                 :mod:`repro.results.fingerprint`)
+    runs/<run_id>.json           one manifest per CLI invocation: which
+                                 scenarios ran, which point keys they used,
+                                 per-point wall clock + cache hits, and the
+                                 finalized tables (headers/rows/notes)
+
+Artifacts are written atomically (temp file + ``os.replace``) so a
+crashed or interrupted sweep never leaves a truncated object that a
+later ``--resume`` would trust.  Point results are stored as strict JSON
+— a point whose result does not round-trip exactly is *not* cached
+(resume must be bit-identical, so lossy encoding is worse than a cache
+miss).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.results.fingerprint import code_version, fingerprint
+
+#: Bump when the artifact record layout changes.
+ARTIFACT_SCHEMA = 1
+
+
+class NotSerializable(ValueError):
+    """The point result does not survive a strict JSON round-trip."""
+
+
+@dataclass
+class PointArtifact:
+    """One stored grid point: identity, payload, and how it was produced."""
+
+    key: str
+    scenario: str
+    point_index: int
+    params: dict
+    result: dict
+    key_material: dict = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+    code_version: str = field(default_factory=code_version)
+    created_at: str = ""
+    schema: int = ARTIFACT_SCHEMA
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "PointArtifact":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 — set of names
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _round_trips(value: Any) -> bool:
+    """True when ``value`` encodes to JSON and decodes back equal."""
+    try:
+        encoded = json.dumps(value, allow_nan=False)
+    except (TypeError, ValueError):
+        return False
+    return json.loads(encoded) == value
+
+
+class ArtifactStore:
+    """Content-addressed persistence for grid-point results + run manifests."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- atomic writes -------------------------------------------------------
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp.{os.getpid()}.{path.name}"
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    # -- point artifacts -----------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return self.object_path(key).is_file()
+
+    def save_point(self, artifact: PointArtifact) -> Path:
+        """Persist one point artifact; raises :class:`NotSerializable` if the
+        result would not round-trip bit-identically through JSON."""
+        if not _round_trips(artifact.result):
+            raise NotSerializable(
+                f"point result for {artifact.scenario!r}[{artifact.point_index}] "
+                "does not survive a JSON round-trip; not caching it"
+            )
+        if not artifact.created_at:
+            artifact.created_at = _utc_now()
+        path = self.object_path(artifact.key)
+        self._write_atomic(path, artifact.to_json())
+        return path
+
+    def load_point(self, key: str) -> PointArtifact | None:
+        """Load an artifact, or ``None`` when absent/corrupt (treat as miss)."""
+        path = self.object_path(key)
+        try:
+            artifact = PointArtifact.from_json(path.read_text())
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+        return artifact if artifact.key == key else None
+
+    def iter_points(self) -> Iterator[PointArtifact]:
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            try:
+                yield PointArtifact.from_json(path.read_text())
+            except (ValueError, TypeError, KeyError):
+                continue
+
+    # -- run manifests -------------------------------------------------------
+
+    def write_manifest(self, manifest: Mapping[str, Any]) -> Path:
+        """Persist a run manifest; fills ``run_id``/``created_at`` if absent.
+
+        Generated run ids sort chronologically: a sequence number leads
+        (so two runs within the same wall-clock second still order), then
+        the timestamp, then a content fingerprint to keep concurrent
+        writers from colliding on a filename.
+        """
+        record = dict(manifest)
+        record.setdefault("schema", ARTIFACT_SCHEMA)
+        record.setdefault("code_version", code_version())
+        record.setdefault("created_at", _utc_now())
+        if "run_id" not in record:
+            seq = len(list(self.runs_dir.glob("*.json"))) if (
+                self.runs_dir.is_dir()
+            ) else 0
+            record["run_id"] = (
+                f"run-{seq:06d}-"
+                + time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+                + f"-{fingerprint(record)[:8]}"
+            )
+        path = self.runs_dir / f"{record['run_id']}.json"
+        self._write_atomic(path, json.dumps(record, sort_keys=True, indent=2) + "\n")
+        return path
+
+    def manifests(self) -> list[dict]:
+        """All run manifests, oldest first (run ids sort chronologically)."""
+        if not self.runs_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def latest_manifest(self) -> dict | None:
+        manifests = self.manifests()
+        return manifests[-1] if manifests else None
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

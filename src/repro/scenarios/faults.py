@@ -21,6 +21,8 @@ so tables are bit-identical across runs and ``--jobs`` counts.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from repro import constants
 from repro.core.system import AmmBoostConfig, AmmBoostSystem
 from repro.crypto.keys import generate_keypair
@@ -45,6 +47,24 @@ from repro.simulation.rng import DeterministicRng
 #: that partitions of size f and f + 1 behave differently.
 _MEMBERS = [f"miner{i}" for i in range(8)]
 _F = constants.committee_fault_tolerance(len(_MEMBERS))
+
+
+def _fault_timeline(plan: FaultPlan) -> list[dict]:
+    """The plan's event timeline as JSON-safe dicts.
+
+    Point results flow into the content-addressed artifact store, so the
+    fault schedule a row was produced under travels with the row (sets
+    become sorted lists — artifact encoding is strict JSON).
+    """
+    timeline = []
+    for event in plan.events:
+        record: dict = {"kind": type(event).__name__}
+        for field_name, value in asdict(event).items():
+            if isinstance(value, (set, frozenset)):
+                value = sorted(value)
+            record[field_name] = value
+        timeline.append(record)
+    return timeline
 
 
 def _run_pbft(
@@ -101,7 +121,7 @@ def partition_heal_point(params) -> dict:
         "yes" if blocked else "no",
         len(pbft.decisions()),
     ]
-    return {"rows": [row]}
+    return {"rows": [row], "fault_timeline": _fault_timeline(plan)}
 
 
 def partition_heal_spec(heal_at: float = 9.0) -> ScenarioSpec:
@@ -152,7 +172,7 @@ def crash_churn_point(params) -> dict:
         round(outcome.decided_at, 3),
         len(pbft.decisions()),
     ]
-    return {"rows": [row]}
+    return {"rows": [row], "fault_timeline": _fault_timeline(plan)}
 
 
 def crash_churn_spec() -> ScenarioSpec:
@@ -196,7 +216,7 @@ def delta_sweep_point(params) -> dict:
         round(outcome.decided_at, 3),
         round(outcome.decided_at / delta, 2),
     ]
-    return {"rows": [row]}
+    return {"rows": [row], "fault_timeline": _fault_timeline(plan)}
 
 
 def delta_sweep_spec(deltas=(0.5, 1.0, 2.0, 4.0)) -> ScenarioSpec:
@@ -270,7 +290,13 @@ def interrupted_recovery_point(params) -> dict:
         f"{synced}/{epochs}",
         "yes" if synced == epochs else "NO",
     ]
-    return {"rows": [row]}
+    return {
+        "rows": [row],
+        "fault_timeline": _fault_timeline(plan),
+        # The applied-fault log ("no silent hangs"): every fault the epoch
+        # engine charged, serialized into the run's artifacts.
+        "fault_log": [asdict(record) for record in fault_log],
+    }
 
 
 def interrupted_recovery_spec() -> ScenarioSpec:

@@ -16,15 +16,28 @@ worker processes with ``jobs > 1``.  Three properties make parallel runs
 Workers are forked where available (cheap: the parent has already paid
 the import cost); platforms without ``fork`` fall back to the default
 start method.
+
+With a ``store`` (an :class:`~repro.results.store.ArtifactStore` or a
+path), every completed point is persisted as a content-addressed
+artifact, and ``resume=True`` skips points whose key already has one —
+the cached result round-tripped strict JSON at save time, so a resumed
+run is bit-identical to a fresh one.  Artifacts are written by the
+parent after the map (workers stay write-free), so a crashed sweep
+keeps everything that finished.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.results.fingerprint import fingerprint, point_key_material
+from repro.results.store import ArtifactStore, NotSerializable, PointArtifact
 from repro.scenarios.result import ExperimentResult
+from repro.scenarios.scaling import env_scale_boost
 from repro.scenarios.spec import ScenarioSpec
 from repro.simulation.rng import DeterministicRng
 
@@ -81,11 +94,17 @@ def _restore_tx_counters(snapshot: tuple[int, int]) -> None:
 
 
 def _invoke(task: tuple) -> tuple:
-    """Run one point; never raise (errors must survive the pickle trip)."""
+    """Run one point; never raise (errors must survive the pickle trip).
+
+    Success outcomes carry the point's wall clock so the artifact store
+    can record how expensive each grid point was to (re)compute.
+    """
     fn, params = task
     try:
         _reset_point_state()
-        return ("ok", fn(params))
+        start = time.perf_counter()
+        result = fn(params)
+        return ("ok", result, time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 — reported per-scenario by the caller
         return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
 
@@ -103,12 +122,23 @@ class ScenarioRunner:
         jobs: int = 1,
         scale: int | None = None,
         base_seed: int | str = 0,
+        store: ArtifactStore | str | Path | None = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if resume and store is None:
+            raise ValueError("resume=True requires a store to resume from")
         self.jobs = jobs
         self.scale = scale
         self.base_seed = base_seed
+        self.store = (
+            ArtifactStore(store) if isinstance(store, (str, Path)) else store
+        )
+        self.resume = resume
+        #: Per-point metadata of the most recent run()/run_many() call:
+        #: dicts with scenario/index/key/wall_clock_s/cached/stored.
+        self.point_records: list[dict] = []
 
     # -- task construction ---------------------------------------------------
 
@@ -129,6 +159,21 @@ class ScenarioRunner:
             (spec.point, self._point_params(spec, i, params))
             for i, params in enumerate(spec.grid)
         ]
+
+    def _point_material(
+        self, spec: ScenarioSpec, params: Mapping[str, Any]
+    ) -> dict:
+        """Key material for one enriched grid point (its fingerprint is the
+        artifact key — computed once, stored verbatim in the artifact)."""
+        return point_key_material(
+            spec.name,
+            params,
+            point_fn=spec.point,
+            scale=self.scale,
+            base_seed=self.base_seed,
+            env_scale_boost=env_scale_boost(),
+            headers=spec.headers,
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -159,7 +204,43 @@ class ScenarioRunner:
 
     def run(self, spec: ScenarioSpec) -> ExperimentResult:
         """Run one scenario; raises :class:`ScenarioError` on point failure."""
-        return self._collect(spec, self._map(self._tasks(spec)))
+        outcome = self.run_many([spec])[0]
+        if isinstance(outcome, ScenarioError):
+            raise outcome
+        return outcome
+
+    # -- artifact persistence ------------------------------------------------
+
+    def _load_cached(self, key: str | None) -> tuple | None:
+        """A cached outcome for ``key`` under ``resume``, or ``None``."""
+        if not (self.resume and self.store is not None and key):
+            return None
+        artifact = self.store.load_point(key)
+        if artifact is None:
+            return None
+        return ("ok", artifact.result, artifact.wall_clock_s)
+
+    def _save_point(
+        self, spec: ScenarioSpec, index: int, key: str, material: dict,
+        params: Mapping[str, Any], outcome: tuple,
+    ) -> bool:
+        """Persist a computed point; a non-serialisable result is a no-op
+        (never cached, so resume recomputes it — correct, just slower)."""
+        assert self.store is not None
+        artifact = PointArtifact(
+            key=key,
+            scenario=spec.name,
+            point_index=index,
+            params=dict(params),
+            result=outcome[1],
+            key_material=material,
+            wall_clock_s=round(outcome[2], 6),
+        )
+        try:
+            self.store.save_point(artifact)
+        except NotSerializable:
+            return False
+        return True
 
     def run_many(
         self, specs: Sequence[ScenarioSpec]
@@ -171,14 +252,70 @@ class ScenarioRunner:
         returned list is parallel to ``specs``; a scenario whose point
         raised yields a :class:`ScenarioError` entry instead of aborting
         the whole batch.
+
+        With a store, completed points are persisted as artifacts as soon
+        as the map returns — even when a sibling point of the same
+        scenario failed — so interrupted sweeps keep their finished work
+        and ``resume`` restarts only what is missing.
         """
         all_tasks: list[tuple] = []
         slices: list[tuple[int, int]] = []
+        task_meta: list[tuple[ScenarioSpec, int, str | None, dict | None]] = []
         for spec in specs:
             tasks = self._tasks(spec)
             slices.append((len(all_tasks), len(all_tasks) + len(tasks)))
             all_tasks.extend(tasks)
-        outcomes = self._map(all_tasks)
+            for index, (_, params) in enumerate(tasks):
+                material = (
+                    self._point_material(spec, params) if self.store else None
+                )
+                key = fingerprint(material) if material is not None else None
+                task_meta.append((spec, index, key, material))
+
+        outcomes: list[tuple | None] = [None] * len(all_tasks)
+        pending: list[int] = []
+        for i, (_, _, key, _) in enumerate(task_meta):
+            cached = self._load_cached(key)
+            if cached is not None:
+                outcomes[i] = cached
+            else:
+                pending.append(i)
+        for i, outcome in zip(pending, self._map([all_tasks[i] for i in pending])):
+            outcomes[i] = outcome
+
+        pending_set = set(pending)
+        self.point_records = []
+        for i, (spec, index, key, material) in enumerate(task_meta):
+            outcome = outcomes[i]
+            cached = i not in pending_set
+            stored = False
+            if (
+                self.store is not None
+                and key
+                and material is not None
+                and not cached
+                and outcome is not None
+                and outcome[0] == "ok"
+            ):
+                stored = self._save_point(
+                    spec, index, key, material, all_tasks[i][1], outcome
+                )
+            self.point_records.append(
+                {
+                    "scenario": spec.name,
+                    "index": index,
+                    "key": key,
+                    "ok": outcome is not None and outcome[0] == "ok",
+                    "wall_clock_s": (
+                        round(outcome[2], 6)
+                        if outcome is not None and outcome[0] == "ok"
+                        else None
+                    ),
+                    "cached": cached,
+                    "stored": stored,
+                }
+            )
+
         collected: list[ExperimentResult | ScenarioError] = []
         for spec, (start, end) in zip(specs, slices):
             try:

@@ -16,6 +16,13 @@ runner-injected keys) and return a picklable mapping::
      "notes": "...",              # optional: joined into the result notes
      ...}                         # optional extras a custom finalize reads
 
+Prefer strict-JSON values (dicts with string keys, lists — not tuples —,
+numbers, strings, bools): the runner persists point results into the
+content-addressed artifact store (:mod:`repro.results`), and only
+results that round-trip JSON bit-identically are cached for ``--resume``
+(anything else is recomputed — correct, just slower).  Fault scenarios
+use the extras to ship their applied-fault logs into the artifacts.
+
 Conventions the runner may inject into ``params``:
 
 * ``scale`` — the CLI ``--scale`` override (specs with ``accepts_scale``);

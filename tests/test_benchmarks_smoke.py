@@ -45,6 +45,68 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
     assert set(report["seed_baseline_ops_per_sec"]) == expected
 
 
+def test_run_benchmarks_store_records_feed_compare(tmp_path):
+    """--store emits artifact-store records `compare` reads like any other
+    result set (this is the CI benchmark gate's data path)."""
+    output = tmp_path / "bench.json"
+    store = tmp_path / "store"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(RUNNER),
+            "--quick",
+            "--scenario",
+            "sqrt_ratio_at_tick",
+            "--scenario",
+            "quote",
+            "-o",
+            str(output),
+            "--store",
+            str(store),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert len(list((store / "objects").glob("*/*.json"))) == 2
+    assert len(list((store / "runs").glob("*.json"))) == 1
+
+    from repro.results.compare import compare_tables, load_result_set
+
+    report_tables = load_result_set(output)
+    store_tables = load_result_set(store)
+    assert set(store_tables) == {"benchmarks"}
+    # The store manifest and the JSON report describe the same measurement.
+    drifts, _ = compare_tables(report_tables, store_tables)
+    assert drifts == []
+
+
+def test_gate_mode_is_calibrated(tmp_path):
+    output = tmp_path / "bench.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(RUNNER),
+            "--gate",
+            "--scenario",
+            "sqrt_ratio_at_tick",
+            "-o",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(output.read_text())
+    assert report["mode"] == "gate"
+    result = report["scenarios"]["sqrt_ratio_at_tick"]
+    assert result["repeats"] == 2
+    assert result["iterations"] > 1  # calibrated, unlike --quick
+
+
 def test_run_benchmarks_single_scenario(tmp_path):
     output = tmp_path / "bench.json"
     proc = subprocess.run(

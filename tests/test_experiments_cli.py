@@ -1,13 +1,23 @@
 """Tests for the ``python -m repro.experiments`` CLI."""
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
 import repro.scenarios as scenarios
 from repro.experiments.__main__ import RUNNERS, _expand_names, main
 from repro.scenarios.spec import ScenarioSpec
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store(tmp_path, monkeypatch):
+    """Keep the default ``.repro-results/`` store out of the repo tree."""
+    monkeypatch.chdir(tmp_path)
 
 
 def test_all_paper_artifacts_have_runners():
@@ -78,12 +88,16 @@ def test_jobs_flag_accepted(capsys):
     assert "committee" in capsys.readouterr().out
 
 
-def test_module_invocation():
+def test_module_invocation(tmp_path):
     proc = subprocess.run(
         [sys.executable, "-m", "repro.experiments", "table12"],
         capture_output=True,
         text=True,
         timeout=120,
+        cwd=tmp_path,
+        env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
     )
     assert proc.returncode == 0
     assert "committee" in proc.stdout
+    # The default artifact store lands next to the invocation.
+    assert (tmp_path / ".repro-results" / "runs").is_dir()

@@ -1,0 +1,205 @@
+"""Tests for the ``compare`` engine and CLI: drift in, failure out."""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.results.compare import compare_tables, load_result_set
+
+
+def _tables():
+    return {
+        "table_x": {
+            "headers": ["param", "tput tx/s", "label"],
+            "rows": [[100, 1234.5, "ok"], [200, 2469.0, "ok"]],
+        }
+    }
+
+
+# -- compare_tables ------------------------------------------------------------
+
+
+def test_identical_tables_have_no_drift():
+    drifts, notes = compare_tables(_tables(), _tables())
+    assert drifts == [] and notes == []
+
+
+def test_one_percent_drift_is_detected_by_default():
+    candidate = _tables()
+    candidate["table_x"]["rows"][0][1] *= 1.01
+    drifts, _ = compare_tables(_tables(), candidate)
+    assert len(drifts) == 1
+    drift = drifts[0]
+    assert (drift.table, drift.row, drift.column) == ("table_x", "100", "tput tx/s")
+    assert "1234.5" in drift.describe()
+
+
+def test_within_tolerance_noise_passes():
+    candidate = _tables()
+    candidate["table_x"]["rows"][0][1] *= 1.01
+    drifts, _ = compare_tables(_tables(), candidate, rtol=0.05)
+    assert drifts == []
+
+
+def test_per_column_tolerance_override():
+    candidate = _tables()
+    candidate["table_x"]["rows"][0][1] *= 1.01
+    drifts, _ = compare_tables(
+        _tables(), candidate, column_rtol={"tput tx/s": 0.05}
+    )
+    assert drifts == []
+    # The override is per-column: drift elsewhere still fails.
+    candidate["table_x"]["rows"][1][0] = 201
+    drifts, _ = compare_tables(
+        _tables(), candidate, column_rtol={"tput tx/s": 0.05}
+    )
+    assert len(drifts) == 1
+
+
+def test_fail_low_only_tolerates_improvements():
+    faster = _tables()
+    faster["table_x"]["rows"][0][1] *= 2.0  # candidate got faster
+    drifts, _ = compare_tables(_tables(), faster, fail_low_only=True)
+    assert drifts == []
+    slower = _tables()
+    slower["table_x"]["rows"][0][1] *= 0.5  # candidate dropped 50%
+    drifts, _ = compare_tables(
+        _tables(), slower, rtol=0.30, fail_low_only=True
+    )
+    assert len(drifts) == 1
+
+
+def test_string_cells_must_match_exactly():
+    candidate = _tables()
+    candidate["table_x"]["rows"][0][2] = "FAILED"
+    drifts, _ = compare_tables(_tables(), candidate, rtol=1.0)
+    assert len(drifts) == 1
+
+
+def test_missing_table_and_row_are_drift_extra_are_notes():
+    drifts, _ = compare_tables(_tables(), {})
+    assert [d.kind for d in drifts] == ["missing-table"]
+
+    candidate = _tables()
+    del candidate["table_x"]["rows"][1]
+    drifts, _ = compare_tables(_tables(), candidate)
+    assert [d.kind for d in drifts] == ["missing-row"]
+
+    candidate = _tables()
+    candidate["table_x"]["rows"].append([300, 3703.5, "ok"])
+    candidate["extra_table"] = {"headers": ["a"], "rows": [[1]]}
+    drifts, notes = compare_tables(_tables(), candidate)
+    assert drifts == []
+    assert len(notes) == 2  # extra table + extra row, both tolerated
+
+
+def test_header_mismatch_is_shape_drift():
+    candidate = _tables()
+    candidate["table_x"]["headers"][1] = "renamed"
+    drifts, _ = compare_tables(_tables(), candidate)
+    assert [d.kind for d in drifts] == ["shape"]
+
+
+def test_ignored_columns_are_skipped():
+    candidate = _tables()
+    candidate["table_x"]["rows"][0][1] *= 5
+    drifts, _ = compare_tables(
+        _tables(), candidate, ignore_columns={"tput tx/s"}
+    )
+    assert drifts == []
+
+
+def test_duplicate_first_columns_align_positionally():
+    table = {"t": {"headers": ["k", "v"], "rows": [["a", 1], ["a", 2]]}}
+    drifts, _ = compare_tables(table, copy.deepcopy(table))
+    assert drifts == []
+    candidate = copy.deepcopy(table)
+    candidate["t"]["rows"][1][1] = 3
+    drifts, _ = compare_tables(table, candidate)
+    assert len(drifts) == 1 and drifts[0].row == "a#2"
+
+
+# -- load_result_set -----------------------------------------------------------
+
+
+def test_load_benchmark_report(tmp_path):
+    report = {
+        "suite": "amm_engine",
+        "scenarios": {
+            "swap": {"ops_per_sec": 1000.0, "iterations": 5},
+            "quote": {"ops_per_sec": 2000.0, "iterations": 5},
+        },
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(report))
+    tables = load_result_set(path)
+    assert tables == {
+        "benchmarks": {
+            "headers": ["scenario", "ops_per_sec"],
+            "rows": [["quote", 2000.0], ["swap", 1000.0]],
+        }
+    }
+
+
+def test_load_golden_file_and_directory(tmp_path):
+    doc = {
+        "kind": "golden",
+        "scenario": "table_x",
+        "headers": ["a"],
+        "rows": [[1]],
+    }
+    (tmp_path / "table_x.json").write_text(json.dumps(doc))
+    assert load_result_set(tmp_path / "table_x.json") == {
+        "table_x": {"headers": ["a"], "rows": [[1]]}
+    }
+    assert "table_x" in load_result_set(tmp_path)  # directory of fixtures
+
+
+def test_load_rejects_garbage(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ValueError):
+        load_result_set(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    with pytest.raises(ValueError):
+        load_result_set(bad)
+    unknown = tmp_path / "unknown.json"
+    unknown.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(ValueError):
+        load_result_set(unknown)
+    with pytest.raises(ValueError):
+        load_result_set(tmp_path / "empty-store")
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+def _write_manifest(path, tables):
+    path.write_text(
+        json.dumps({"results": {n: t for n, t in tables.items()}})
+    )
+
+
+def test_compare_cli_exit_codes(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    _write_manifest(a, _tables())
+    _write_manifest(b, _tables())
+    assert main(["compare", str(a), str(b)]) == 0
+    assert "no drift" in capsys.readouterr().out
+
+    drifted = _tables()
+    drifted["table_x"]["rows"][0][1] *= 1.01  # injected 1% drift
+    _write_manifest(b, drifted)
+    assert main(["compare", str(a), str(b)]) == 1
+    err = capsys.readouterr().err
+    assert "tput tx/s" in err and "+1.000%" in err
+
+    # Generous tolerance lets the same pair pass.
+    assert main(["compare", str(a), str(b), "--rtol", "0.05"]) == 0
+    # Per-column override via --col.
+    assert main(["compare", str(a), str(b), "--col", "tput tx/s=0.05"]) == 0
+    # Unreadable inputs are a usage error, not a crash.
+    assert main(["compare", str(a), str(tmp_path / "missing.json")]) == 2
+    assert main(["compare", str(a), str(b), "--col", "malformed"]) == 2
