@@ -233,6 +233,81 @@ def make_system_epoch_op():
     return op
 
 
+SHARDED_EPOCH_SHARDS = 4
+
+
+def make_sharded_config(num_shards, jobs=1):
+    """The sharded deployment both halves of the scaling story measure.
+
+    One definition, consumed by ``make_sharded_epoch_op`` (wall-clock)
+    and by ``run_benchmarks.measure_shard_scaling`` (simulated), so the
+    published speedup ratios always compare the same deployment.
+    """
+    from repro.core.system import AmmBoostConfig
+    from repro.sharding import ShardedConfig
+
+    base = AmmBoostConfig(
+        committee_size=8,
+        miner_population=16,
+        num_users=20,
+        daily_volume=SYSTEM_EPOCH_VOLUME * num_shards,
+        rounds_per_epoch=SYSTEM_EPOCH_ROUNDS,
+        seed=11,
+    )
+    return ShardedConfig(
+        num_shards=num_shards,
+        num_pools=2 * num_shards,
+        base=base,
+        cross_shard_ratio=0.05,
+        jobs=jobs,
+    )
+
+
+def make_sharded_epoch_op(num_shards=SHARDED_EPOCH_SHARDS, jobs=None):
+    """One lock-step epoch of a ``num_shards``-shard deployment.
+
+    Every shard runs the full system_epoch workload (election + DKG,
+    traffic, meta-blocks, summary + TSQC sync, confirmation) under its
+    own committee; the coordinator settles cross-shard escrows between
+    epochs.  ``op.scale`` is the aggregate nominal transaction count, so
+    ops/sec is aggregate sidechain transactions per wall-clock second —
+    with ``jobs`` worker processes (default: one per shard, capped at
+    the machine's cores) shard epochs run concurrently, which is where
+    the wall-clock scaling over ``system_epoch`` comes from on a
+    multi-core runner.
+    """
+    import os
+
+    from repro.sharding import ShardedSystem
+    from repro.workload.generator import arrival_rate_per_round
+
+    if jobs is None:
+        jobs = min(num_shards, os.cpu_count() or 1)
+    system = ShardedSystem(make_sharded_config(num_shards, jobs=jobs))
+    scheduler = system.scheduler  # build + set up shards outside the timing
+    state = {"epoch": 0}
+
+    def op():
+        epoch = state["epoch"]
+        instructions = system.registry.instructions_for(frozenset())
+        records = scheduler.run_epoch(epoch, True, instructions)
+        system.registry.add_prepares(
+            prepare
+            for index in sorted(records)
+            for prepare in records[index].prepares
+        )
+        state["epoch"] = epoch + 1
+
+    rho = arrival_rate_per_round(
+        SYSTEM_EPOCH_VOLUME, system.config.base.round_duration
+    )
+    op.scale = num_shards * rho * (SYSTEM_EPOCH_ROUNDS - 1)
+    #: Harness hook: tears down the forked scheduler workers (and their
+    #: in-memory shard systems) once the scenario's measurement is done.
+    op.cleanup = scheduler.close
+    return op
+
+
 # -- pytest-benchmark wrappers -------------------------------------------------
 
 
@@ -267,6 +342,12 @@ def test_bench_system_epoch(benchmark):
 def test_bench_pbft_round(benchmark):
     outcome = benchmark(make_pbft_round_op())
     assert outcome.decided
+
+
+def test_bench_sharded_epoch(benchmark):
+    # Serial scheduler: pytest-benchmark numbers should not depend on
+    # the host's core count.
+    benchmark(make_sharded_epoch_op(num_shards=2, jobs=1))
 
 
 def test_bench_tick_math_roundtrip(benchmark):

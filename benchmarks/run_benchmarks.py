@@ -68,6 +68,10 @@ SEED_BASELINE_OPS_PER_SEC = {
     # Baseline measured on the PR 3 tree — it tracks fault-path overhead
     # on the happy path from here on.
     "pbft_round": 4.2,
+    # sharded_epoch was added in PR 5 (shard engine): one lock-step epoch
+    # of a 4-shard deployment, in aggregate sidechain tx/s.  No seed
+    # baseline (the subsystem is new); the shard_scaling block of the
+    # report carries the 1-vs-4-shard scaling ratios.
 }
 
 # Scenario bodies are defined once in bench_amm_engine.py (shared with the
@@ -82,6 +86,7 @@ SCENARIOS = {
     "executor_round": bench_amm_engine.make_executor_round_op,
     "system_epoch": bench_amm_engine.make_system_epoch_op,
     "pbft_round": bench_amm_engine.make_pbft_round_op,
+    "sharded_epoch": bench_amm_engine.make_sharded_epoch_op,
 }
 
 
@@ -135,12 +140,76 @@ def run(names: list[str], mode: str) -> dict:
     for name in names:
         factory = SCENARIOS[name]
         op = factory()
-        results[name] = measure(op, mode)
+        try:
+            results[name] = measure(op, mode)
+        finally:
+            cleanup = getattr(op, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
         print(
             f"{name:24s} {results[name]['ops_per_sec']:>14,.0f} ops/s",
             file=sys.stderr,
         )
     return results
+
+
+def measure_shard_scaling(mode: str) -> dict:
+    """Aggregate sidechain tx/s at 1 vs 4 shards, wall-clock and simulated.
+
+    * ``wall_clock`` ops/sec use the standard harness over one lock-step
+      epoch per call, with one scheduler worker per shard (capped at the
+      machine's cores) — on a >=4-core runner the 4-shard deployment's
+      epochs run concurrently, so aggregate tx per wall-clock second
+      scales with the shard count; a smaller machine serialises them and
+      the wall-clock ratio degrades toward 1 (the report records the
+      cores used so the number can be interpreted).
+    * ``simulated`` tx/s divide each deployment's processed transactions
+      by its *simulated* elapsed time — the protocol-level capacity
+      claim, independent of the benchmarking machine: shards run their
+      epochs concurrently in simulated time, so the deployment's rate is
+      the per-shard sum.
+    """
+    import os
+
+    from repro.sharding import ShardedSystem
+
+    wall = {}
+    simulated = {}
+    for shards in (1, 4):
+        op = bench_amm_engine.make_sharded_epoch_op(num_shards=shards)
+        try:
+            wall[shards] = measure(op, mode)["ops_per_sec"]
+        finally:
+            op.cleanup()
+        report = ShardedSystem(
+            bench_amm_engine.make_sharded_config(shards)
+        ).run(num_epochs=3)
+        simulated[shards] = round(report.aggregate_throughput, 2)
+    block = {
+        "unit": "aggregate sidechain tx/s",
+        "cores": os.cpu_count(),
+        "wall_clock": {
+            "1_shard": wall[1],
+            "4_shards": wall[4],
+            "speedup_4v1": round(wall[4] / wall[1], 2) if wall[1] else None,
+        },
+        "simulated": {
+            "1_shard": simulated[1],
+            "4_shards": simulated[4],
+            "speedup_4v1": (
+                round(simulated[4] / simulated[1], 2) if simulated[1] else None
+            ),
+        },
+    }
+    print(
+        "shard_scaling 1->4: wall x{} (on {} core(s)), simulated x{}".format(
+            block["wall_clock"]["speedup_4v1"],
+            block["cores"],
+            block["simulated"]["speedup_4v1"],
+        ),
+        file=sys.stderr,
+    )
+    return block
 
 
 def write_store_records(store_dir: Path, results: dict, mode: str) -> None:
@@ -244,6 +313,9 @@ def main(argv: list[str] | None = None) -> int:
 
     names = args.scenario or list(SCENARIOS)
     results = run(names, mode)
+    shard_scaling = (
+        measure_shard_scaling(mode) if args.scenario is None else None
+    )
 
     speedups = {}
     for name, result in results.items():
@@ -263,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         "seed_baseline_ops_per_sec": SEED_BASELINE_OPS_PER_SEC,
         "speedup_vs_seed": speedups,
     }
+    if shard_scaling is not None:
+        report["shard_scaling"] = shard_scaling
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if args.store is not None:

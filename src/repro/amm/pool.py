@@ -20,6 +20,7 @@ from repro.errors import (
     AMMError,
     FlashLoanError,
     LiquidityError,
+    NoLiquidityError,
     PositionError,
     SlippageError,
 )
@@ -494,6 +495,17 @@ class Pool:
         else:
             amount0 = amount_calculated
             amount1 = amount_specified - amount_remaining
+        if amount0 == 0 and amount1 == 0:
+            # The walk exchanged nothing: no liquidity in the swap's
+            # direction (e.g. a freshly opened pool on an empty shard).
+            # Committing would only crash the price to the limit and
+            # wedge the pool, so every caller — quoter, router, the
+            # sidechain executor — gets a typed error instead.
+            raise NoLiquidityError(
+                f"no liquidity for "
+                f"{'zero-for-one' if zero_for_one else 'one-for-zero'} swap "
+                f"in pool {self.config.token0}/{self.config.token1}"
+            )
         return PendingSwap(
             pool=self,
             zero_for_one=zero_for_one,

@@ -53,6 +53,12 @@ def quote_swap(
     Runs the pool's own swap walk (same tick visits, same rounding) and
     discards the pending commit, so the quote matches a subsequent real
     swap exactly.
+
+    Raises :class:`~repro.errors.NoLiquidityError` (from the walk
+    itself) when the swap would exchange nothing — a pool with zero
+    liquidity in the swap's direction (e.g. a freshly opened pool on an
+    empty shard) has no meaningful quote, only a price crash to the
+    extreme ratio.
     """
     return Quote.from_pending(
         pool.prepare_swap(zero_for_one, amount_specified, sqrt_price_limit_x96)

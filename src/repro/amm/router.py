@@ -43,6 +43,8 @@ class Router:
         self._check_deadline(deadline, current_round)
         if amount_in <= 0:
             raise SlippageError(f"amount_in must be positive, got {amount_in}")
+        # A zero-liquidity direction raises NoLiquidityError from the
+        # prepare walk inside Pool.swap, before any state is touched.
         result = self.pool.swap(zero_for_one, amount_in, sqrt_price_limit_x96)
         amount_out = -(result.amount1 if zero_for_one else result.amount0)
         if amount_out < amount_out_minimum:

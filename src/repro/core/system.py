@@ -97,6 +97,21 @@ class AmmBoostConfig:
     enable_nft_positions: bool = False
     #: Cap on drain epochs after traffic stops (guards runaway runs).
     max_drain_epochs: int = 2000
+    #: Seed for the user population only (default: ``seed``).  A sharded
+    #: deployment gives every shard its own ``seed`` (independent
+    #: committees, DKG and traffic streams) while sharing one
+    #: ``population_seed`` so user addresses are identical across shards
+    #: and cross-shard settles can credit the same identities.
+    population_seed: int | None = None
+
+    @property
+    def resolved_population_seed(self) -> int:
+        """The seed the user population is actually built from."""
+        return (
+            self.population_seed
+            if self.population_seed is not None
+            else self.seed
+        )
 
     def __post_init__(self) -> None:
         if self.rounds_per_epoch < 2:
@@ -143,6 +158,7 @@ class AmmBoostSystem:
         arrivals: ArrivalProcess | None = None,
         epoch_phases: Sequence[EpochPhase] | None = None,
         fault_plan=None,
+        executor_factory=None,
     ) -> None:
         from repro.workload.generator import TrafficGenerator
         from repro.workload.users import UserPopulation
@@ -212,12 +228,21 @@ class AmmBoostSystem:
             )
         )
         self.pool.initialize(encode_price_sqrt(1, 1))
-        self.executor = SidechainExecutor(self.pool)
+        # A shard-aware deployment swaps in an executor that routes
+        # transaction types the single-pool executor does not know
+        # (e.g. cross-shard transfer legs); the default is unchanged.
+        self.executor = (
+            executor_factory(self.pool)
+            if executor_factory is not None
+            else SidechainExecutor(self.pool)
+        )
         self.snapshot_bank = SnapshotBank(self.token_bank)
         self.ledger = SidechainLedger()
 
         # -- users and traffic ---------------------------------------------------
-        self.population = UserPopulation(self.config.num_users, seed=self.config.seed)
+        self.population = UserPopulation(
+            self.config.num_users, seed=self.config.resolved_population_seed
+        )
         self.generator = TrafficGenerator(
             population=self.population,
             distribution=self.distribution,

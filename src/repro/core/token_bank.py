@@ -20,7 +20,7 @@ Two calibration notes, both documented in DESIGN.md:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro import constants
@@ -28,7 +28,7 @@ from repro.core.summary import EpochSummary
 from repro.core.sync import KeyHandover, SyncPayload
 from repro.crypto.bls import bls_verify
 from repro.crypto.groups import G2Element
-from repro.errors import FlashLoanError, RevertError, SyncAuthError
+from repro.errors import EscrowError, FlashLoanError, RevertError, SyncAuthError
 from repro.mainchain.contracts.base import CallContext, Contract
 from repro.mainchain.contracts.erc20 import ERC20Token, GAS_APPROVE
 
@@ -42,6 +42,30 @@ POOL_BALANCE_STORAGE_BYTES = 64
 
 #: Deposit-call execution gas: pipeline total minus the two approvals.
 GAS_DEPOSIT_CALL = constants.GAS_DEPOSIT_TWO_TOKENS - 2 * GAS_APPROVE
+
+
+@dataclass
+class EscrowRecord:
+    """One cross-shard transfer's mainchain-side two-phase-commit state.
+
+    ``prepared`` value has left the owner's balance (via the epoch
+    summary that carried the prepare) and is parked in the bank until the
+    coordinator either releases it (settle: the value re-materialises on
+    the destination shard's bank) or refunds it (abort: the value returns
+    to the owner's deposit, and the sidechain re-credits it through the
+    ordinary deposit-merge pipeline).
+    """
+
+    transfer_id: str
+    user: str
+    amount0: int
+    amount1: int
+    status: str = "prepared"
+    abort_reason: str = ""
+
+    PREPARED = "prepared"
+    SETTLED = "settled"
+    REFUNDED = "refunded"
 
 
 @dataclass
@@ -90,6 +114,10 @@ class TokenBank(Contract):
         #: the sidechain merges entries newer than its last snapshot so
         #: mid-epoch deposits are credited without waiting for a sync.
         self.deposit_events: list[tuple[float, str, int, int]] = []
+        #: Cross-shard escrow records by transfer id (see
+        #: :class:`EscrowRecord`).  Settled/refunded records are kept for
+        #: auditability; only ``prepared`` ones hold value.
+        self.escrows: dict[str, EscrowRecord] = {}
 
     # -- setup ------------------------------------------------------------------
 
@@ -274,6 +302,91 @@ class TokenBank(Contract):
         ctx.gas.charge(30_000, "flash")
         return fee0, fee1
 
+    # -- cross-shard escrow (two-phase commit, mainchain side) --------------------------
+    #
+    # Escrow records track value crossing between shard banks.  Like Sync
+    # payouts, amounts are committee-attested sidechain facts (the prepare
+    # is carried in the source shard's epoch summary), so these methods
+    # take no CallContext: they are coordinator-driven state transitions,
+    # not user transactions.  The owner's balance delta itself flows
+    # through the summary's absolute payouts; locking therefore does NOT
+    # touch ``deposits`` — the record *is* the parked value.
+
+    def escrow_lock(
+        self, transfer_id: str, user: str, amount0: int, amount1: int
+    ) -> EscrowRecord:
+        """Prepare: park an outbound cross-shard transfer in the bank."""
+        if amount0 < 0 or amount1 < 0:
+            raise EscrowError("escrow amounts must be non-negative")
+        if amount0 == 0 and amount1 == 0:
+            raise EscrowError("empty escrow")
+        if transfer_id in self.escrows:
+            raise EscrowError(f"transfer {transfer_id} already escrowed")
+        record = EscrowRecord(
+            transfer_id=transfer_id, user=user, amount0=amount0, amount1=amount1
+        )
+        self.escrows[transfer_id] = record
+        return record
+
+    def escrow_release(self, transfer_id: str) -> tuple[int, int]:
+        """Settle: the escrowed value bridges out to the destination bank."""
+        record = self._active_escrow(transfer_id)
+        record.status = EscrowRecord.SETTLED
+        return record.amount0, record.amount1
+
+    def escrow_refund(
+        self, transfer_id: str, timestamp: float, reason: str = ""
+    ) -> tuple[int, int]:
+        """Abort: return the escrowed value to its owner's deposit.
+
+        The refund also lands in ``deposit_events`` so the sidechain
+        re-credits the owner's working balance at the next epoch boundary
+        through the ordinary deposit-merge pipeline.
+        """
+        record = self._active_escrow(transfer_id)
+        record.status = EscrowRecord.REFUNDED
+        record.abort_reason = reason
+        self.credit_external(
+            record.user, record.amount0, record.amount1, timestamp
+        )
+        return record.amount0, record.amount1
+
+    def credit_external(
+        self, user: str, amount0: int, amount1: int, timestamp: float
+    ) -> None:
+        """Credit value arriving from outside this bank (bridge settle).
+
+        Used for cross-shard settles (value released from another shard's
+        escrow) and refunds.  Rides the same ``deposit_events`` pipeline
+        as ordinary deposits so the sidechain merges it at the next epoch
+        boundary.
+        """
+        if amount0 < 0 or amount1 < 0:
+            raise EscrowError("bridge credits must be non-negative")
+        balance = self.deposits.setdefault(user, [0, 0])
+        balance[0] += amount0
+        balance[1] += amount1
+        self.deposit_events.append((timestamp, user, amount0, amount1))
+
+    def _active_escrow(self, transfer_id: str) -> EscrowRecord:
+        record = self.escrows.get(transfer_id)
+        if record is None:
+            raise EscrowError(f"unknown transfer {transfer_id}")
+        if record.status != EscrowRecord.PREPARED:
+            raise EscrowError(
+                f"transfer {transfer_id} already {record.status}"
+            )
+        return record
+
+    def escrow_balance(self) -> tuple[int, int]:
+        """Value currently parked in prepared escrows (conservation term)."""
+        total0 = total1 = 0
+        for record in self.escrows.values():
+            if record.status == EscrowRecord.PREPARED:
+                total0 += record.amount0
+                total1 += record.amount1
+        return total0, total1
+
     # -- rollback support ---------------------------------------------------------------
 
     def state_snapshot(self) -> dict:
@@ -296,6 +409,9 @@ class TokenBank(Contract):
             "sync_count": self.sync_count,
             "storage_bytes": self.storage_bytes,
             "deposit_events": list(self.deposit_events),
+            "escrows": {
+                tid: replace(r) for tid, r in self.escrows.items()
+            },
         }
 
     def restore_state(self, snapshot: dict) -> None:
@@ -310,6 +426,9 @@ class TokenBank(Contract):
         self.sync_count = snapshot["sync_count"]
         self.storage_bytes = snapshot["storage_bytes"]
         self.deposit_events = list(snapshot["deposit_events"])
+        self.escrows = {
+            tid: replace(r) for tid, r in snapshot.get("escrows", {}).items()
+        }
 
     # -- views ------------------------------------------------------------------------
 

@@ -92,6 +92,18 @@ class SlippageError(AMMError):
     """A swap violated its slippage or price-limit protection."""
 
 
+class NoLiquidityError(AMMError):
+    """A swap or quote found no liquidity to trade against.
+
+    Raised by the read paths (quoter, router) when a pool — e.g. a
+    freshly opened pool on an empty shard — has no liquidity anywhere in
+    the swap's direction, so the walk would exchange nothing and only
+    crash the price to the extreme ratio.  Typed so callers can route
+    the order elsewhere instead of unpicking a bare arithmetic error or
+    a silently wedged pool.
+    """
+
+
 class DeadlineError(AMMError):
     """A transaction's deadline round has passed."""
 
@@ -154,3 +166,20 @@ class SyncValidationError(AmmBoostError):
 
 class PruningError(AmmBoostError):
     """Meta-blocks were pruned before their sync was confirmed."""
+
+
+# --------------------------------------------------------------------------
+# Sharding
+# --------------------------------------------------------------------------
+
+
+class ShardError(AmmBoostError):
+    """Base class for sharded-deployment failures."""
+
+
+class PlacementError(ShardError):
+    """A pool-to-shard assignment is missing, duplicated, or out of range."""
+
+
+class EscrowError(ShardError):
+    """An escrow transfer was driven through an invalid state transition."""

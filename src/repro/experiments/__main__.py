@@ -63,14 +63,25 @@ RUNNERS = {
 }
 
 
+def _describe(spec, headline: str) -> None:
+    """Two lines per scenario: headline, then description + provider.
+
+    The provider is the registry module whose point function backs the
+    scenario — where to look to change or extend it.
+    """
+    description = spec.description or "(no description)"
+    print(f"  {spec.name:<20} {headline}")
+    print(f"  {'':<20} {description}  [{spec.point.__module__}]")
+
+
 def _print_listing() -> None:
     print(__doc__)
     print("paper experiments (the `all` set):")
     for spec in scenarios.specs("paper"):
-        print(f"  {spec.name:<14} {spec.experiment_id}: {spec.title}")
+        _describe(spec, f"{spec.experiment_id}: {spec.title}")
     print("extra scenarios (the `extras` set):")
     for spec in scenarios.specs("extra"):
-        print(f"  {spec.name:<14} {spec.title}")
+        _describe(spec, spec.title)
     print("available experiments:", ", ".join(scenarios.names()))
 
 

@@ -38,6 +38,7 @@ from repro.faults.plan import (
     SyncWithhold,
     ViewChangeBurst,
 )
+from repro.faults.shard import ShardFault, ShardFaultBook
 
 __all__ = [
     "EMPTY_PLAN",
@@ -55,6 +56,8 @@ __all__ = [
     "FaultySummarySyncPhase",
     "Partition",
     "Rollback",
+    "ShardFault",
+    "ShardFaultBook",
     "SyncWithhold",
     "ViewChangeBurst",
     "faulty_epoch_phases",

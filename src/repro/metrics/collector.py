@@ -86,5 +86,6 @@ class MetricsCollector:
             "sidechain_growth_bytes": self.sidechain_growth_bytes,
             "sidechain_live_bytes": self.sidechain_live_bytes,
             "num_syncs": self.num_syncs,
+            "peak_queue_depth": self.peak_queue_depth,
             "elapsed_seconds": round(self.elapsed_seconds, 1),
         }

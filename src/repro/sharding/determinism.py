@@ -1,0 +1,55 @@
+"""Deterministic id-space discipline for shard execution.
+
+Transaction ids come from process-global counters and feed position-id
+hashes, so a shard's exact trajectory depends on the counter state when
+its work runs.  Serial execution interleaves every shard's ids in one
+stream; parallel execution gives each worker its own stream — the two
+would diverge.  The fix is the :class:`~repro.scenarios.runner` discipline
+taken one level down: every unit of shard work (setup, or one epoch) runs
+inside a *counter scope* that pins both counters to a base derived only
+from ``(shard index, stage)``, and restores the caller's counters on
+exit.  Wherever the work runs, it sees the same id stream.
+
+Id spaces are sized so no realistic stage overflows into the next base:
+10^9 ids per epoch, 10^12 per shard (an epoch processes thousands of
+transactions, not billions).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import repro.core.transactions as core_tx
+import repro.mainchain.transactions as main_tx
+
+#: Ids reserved per shard / per stage within a shard.
+SHARD_ID_SPACE = 10**12
+STAGE_ID_SPACE = 10**9
+
+
+def stage_base(shard_index: int, stage: int) -> int:
+    """First id of ``stage`` in ``shard_index``'s id space.
+
+    Stage 0 is setup; stage ``e + 1`` is epoch ``e``.
+    """
+    return 1 + (shard_index + 1) * SHARD_ID_SPACE + stage * STAGE_ID_SPACE
+
+
+@contextmanager
+def counter_scope(shard_index: int, stage: int) -> Iterator[None]:
+    """Run shard work on its deterministic id base; restore on exit.
+
+    The restore matters only for serial execution (keeping sibling shards
+    and the caller unaffected); in a worker process the next scope resets
+    the counters anyway.
+    """
+    saved = (core_tx.snapshot_tx_counter(), main_tx.snapshot_tx_counter())
+    base = stage_base(shard_index, stage)
+    core_tx.reset_tx_counter(base)
+    main_tx.reset_tx_counter(base)
+    try:
+        yield
+    finally:
+        core_tx.reset_tx_counter(saved[0])
+        main_tx.reset_tx_counter(saved[1])

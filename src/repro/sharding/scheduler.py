@@ -1,0 +1,174 @@
+"""The shard scheduler: per-shard epochs fanned across worker processes.
+
+Shards are stateful (their systems live for the whole run), so the
+scheduler is not a map over independent tasks like the scenario runner —
+it spawns *persistent* workers, each owning a fixed subset of shards for
+the run's lifetime, and drives them epoch by epoch over pipes:
+
+* ``("epoch", e, inject, {shard: instructions})`` — run epoch ``e`` on
+  every owned shard (in shard-index order) and return the per-shard
+  :class:`~repro.sharding.shard.ShardEpochRecord`\\ s;
+* ``("finish",)`` — final sync confirmation + metrics, returning
+  :class:`~repro.sharding.shard.ShardFinal` per shard, then exit.
+
+Bit-identity with serial execution follows the
+:class:`~repro.scenarios.runner.ScenarioRunner` discipline one level
+down: every shard stage runs inside a deterministic id-counter scope and
+draws randomness only from shard-local substreams, so shard trajectories
+do not depend on which process hosts them.  Workers are forked (the
+parent already paid the import cost); on platforms without ``fork`` the
+scheduler silently degrades to serial execution — same results, one
+process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import Connection
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ShardError
+from repro.sharding.escrow import ShardInstructions
+from repro.sharding.shard import Shard, ShardEpochRecord, ShardFinal, ShardSpec
+
+
+def _worker_main(specs: Sequence[ShardSpec], conn: Connection) -> None:
+    """Own ``specs``'s shards for the run; serve epoch/finish requests."""
+    try:
+        shards = {spec.index: Shard(spec) for spec in specs}
+        while True:
+            message = conn.recv()
+            if message[0] == "epoch":
+                _, epoch, inject, instructions = message
+                records = {}
+                for index in sorted(shards):
+                    records[index] = shards[index].run_epoch(
+                        epoch, instructions.get(index, []), inject
+                    )
+                conn.send(("ok", records))
+            elif message[0] == "finish":
+                finals = {
+                    index: shards[index].finish()
+                    for index in sorted(shards)
+                }
+                conn.send(("ok", finals))
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("err", f"unknown message {message[0]!r}"))
+                return
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        import traceback
+
+        conn.send(("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+class ShardScheduler:
+    """Drives every shard through lock-step epochs, serially or forked."""
+
+    def __init__(self, specs: Sequence[ShardSpec], jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ShardError(f"jobs must be >= 1, got {jobs}")
+        self.specs = list(specs)
+        methods = multiprocessing.get_all_start_methods()
+        self.jobs = min(jobs, len(self.specs)) if "fork" in methods else 1
+        self._shards: dict[int, Shard] = {}
+        self._workers: list[multiprocessing.process.BaseProcess] = []
+        self._conns: list[Connection] = []
+        #: shard index -> owning worker slot (parallel mode only).
+        self._owner: dict[int, int] = {}
+        if self.jobs <= 1:
+            self._shards = {spec.index: Shard(spec) for spec in self.specs}
+            return
+        context = multiprocessing.get_context("fork")
+        groups: list[list[ShardSpec]] = [[] for _ in range(self.jobs)]
+        for position, spec in enumerate(sorted(self.specs, key=lambda s: s.index)):
+            slot = position % self.jobs
+            groups[slot].append(spec)
+            self._owner[spec.index] = slot
+        for group in groups:
+            parent_conn, child_conn = context.Pipe()
+            worker = context.Process(
+                target=_worker_main, args=(group, child_conn), daemon=True
+            )
+            worker.start()
+            child_conn.close()
+            self._workers.append(worker)
+            self._conns.append(parent_conn)
+
+    @property
+    def parallel(self) -> bool:
+        return bool(self._workers)
+
+    # -- driving ---------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        epoch: int,
+        inject: bool,
+        instructions: Mapping[int, ShardInstructions],
+    ) -> dict[int, ShardEpochRecord]:
+        if not self.parallel:
+            return {
+                index: self._shards[index].run_epoch(
+                    epoch, list(instructions.get(index, [])), inject
+                )
+                for index in sorted(self._shards)
+            }
+        for slot, conn in enumerate(self._conns):
+            owned = {
+                index: list(plan)
+                for index, plan in instructions.items()
+                if self._owner[index] == slot
+            }
+            conn.send(("epoch", epoch, inject, owned))
+        records: dict[int, ShardEpochRecord] = {}
+        for conn in self._conns:
+            records.update(self._receive(conn))
+        return records
+
+    def finish(self) -> dict[int, ShardFinal]:
+        if not self.parallel:
+            return {
+                index: self._shards[index].finish()
+                for index in sorted(self._shards)
+            }
+        for conn in self._conns:
+            conn.send(("finish",))
+        finals: dict[int, ShardFinal] = {}
+        for conn in self._conns:
+            finals.update(self._receive(conn))
+        self.close()
+        return finals
+
+    def _receive(self, conn: Connection) -> dict[int, Any]:
+        status, payload = conn.recv()
+        if status != "ok":
+            self.close()
+            raise ShardError(f"shard worker failed: {payload}")
+        return payload
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - hung worker
+                worker.terminate()
+        self._workers = []
+        self._conns = []
+
+    # -- serial-mode introspection (tests, property suites) --------------------
+
+    def shard(self, index: int) -> Shard:
+        """Direct access to a live shard (serial mode only)."""
+        if self.parallel:
+            raise ShardError(
+                "live shards are worker-owned under jobs > 1; "
+                "run with jobs=1 to introspect them"
+            )
+        return self._shards[index]

@@ -1,0 +1,516 @@
+"""One shard: a full ammBoost deployment plus cross-shard machinery.
+
+A shard *is* an :class:`~repro.core.system.AmmBoostSystem` — its own
+committee election, DKG, key hand-over, meta-block rounds, epoch
+summaries, TSQC-authenticated syncs, mainchain with TokenBank, and
+metrics — wrapped with three shard-aware pieces:
+
+* :class:`ShardExecutor` — the chassis executor subclassed to process
+  cross-shard transaction types: a :class:`CrossShardTransferTx` debits
+  the sender and prepares an escrow; a round-trip
+  :class:`CrossShardSwapTx` escrows its swap output straight back to the
+  sender's home shard.
+* :class:`ShardIngestPhase` — the workload phase subclassed to convert a
+  deterministic fraction of generated swaps into cross-shard transfers
+  aimed at pools other shards own.
+* the epoch driver (:meth:`Shard.run_epoch`) — applies the coordinator's
+  settlement instructions at the epoch boundary, runs the chassis epoch,
+  locks the epoch's fresh prepares into the mainchain TokenBank escrow,
+  and reports a picklable :class:`ShardEpochRecord` back to the
+  coordinator.
+
+Every shard stage runs inside a deterministic id-counter scope
+(:mod:`repro.sharding.determinism`) and draws randomness only from
+shard-local substreams, so a shard's trajectory is bit-identical whether
+it runs in the coordinator's process or in any scheduler worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.executor import SidechainExecutor
+from repro.core.phases import (
+    CommitteeHandoverPhase,
+    DepositMergePhase,
+    EpochPhase,
+    PruneRecoveryPhase,
+    RoundExecutionPhase,
+    SummarySyncPhase,
+    WorkloadIngestPhase,
+)
+from repro.core.system import AmmBoostConfig, AmmBoostSystem
+from repro.core.transactions import SwapTx
+from repro.errors import DepositError, EscrowError
+from repro.faults.plan import FaultPlan
+from repro.sharding.determinism import counter_scope
+from repro.sharding.escrow import (
+    CrossShardSwapTx,
+    CrossShardTransferTx,
+    EscrowLedger,
+    SettleCredit,
+    ShardInstructions,
+    SourceResolve,
+    TransferRecord,
+)
+from repro.simulation.rng import DeterministicRng
+
+#: Extra wire bytes a transfer carries over a plain swap (routing
+#: metadata: destination shard, pool, transfer id).
+TRANSFER_EXTRA_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to build one shard, picklable into workers."""
+
+    index: int
+    num_shards: int
+    chassis: AmmBoostConfig
+    #: Pools this shard owns (sorted pool ids).
+    pools: tuple[str, ...]
+    #: The full deployment assignment ``pool_id -> shard``.
+    assignment: dict[str, int]
+    #: Fraction of generated exact-input swaps converted to cross-shard
+    #: transfers (0 disables).
+    cross_shard_ratio: float = 0.0
+    #: Fraction of cross-shard trades that round-trip their output home.
+    return_ratio: float = 0.5
+    fault_plan: FaultPlan | None = None
+    offline_epochs: frozenset[int] = frozenset()
+
+
+@dataclass
+class ShardEpochRecord:
+    """One shard's epoch outcome, shipped back to the coordinator."""
+
+    shard: int
+    epoch: int
+    online: bool
+    #: Transfers prepared (mined) during this epoch.
+    prepares: list[TransferRecord] = field(default_factory=list)
+    queue_depth: int = 0
+    processed_txs: int = 0
+    rejected_txs: int = 0
+    #: Epochs synced to the mainchain so far (finalization signal).
+    epochs_synced: int = 0
+    supply0: int = 0
+    supply1: int = 0
+
+
+@dataclass
+class ShardFinal:
+    """A shard's end-of-run report."""
+
+    shard: int
+    metrics: dict[str, Any]
+    ledger_counts: dict[str, int]
+    supply0: int = 0
+    supply1: int = 0
+    epochs_synced: int = 0
+    epochs_run: int = 0
+    fault_log_len: int = 0
+    state_digest: str = ""
+
+
+class ShardExecutor(SidechainExecutor):
+    """Chassis executor that understands cross-shard transaction types."""
+
+    def __init__(self, pool: Any, shard: "Shard") -> None:
+        super().__init__(pool)
+        self.shard = shard
+
+    def process(self, tx: Any, current_round: int = 0) -> bool:
+        if isinstance(tx, CrossShardTransferTx):
+            self.current_round = current_round
+            try:
+                self._process_transfer(tx)
+            except (DepositError, EscrowError) as exc:
+                tx.reject_reason = str(exc)
+                self.rejected_count += 1
+                return False
+            self.processed_count += 1
+            return True
+        accepted = super().process(tx, current_round=current_round)
+        if (
+            accepted
+            and isinstance(tx, CrossShardSwapTx)
+            and tx.return_output
+        ):
+            self._escrow_return_leg(tx)
+        return accepted
+
+    def _process_transfer(self, tx: CrossShardTransferTx) -> None:
+        """Prepare: debit the sender; record the escrow (leg 1)."""
+        if tx.amount <= 0:
+            raise EscrowError("transfer amount must be positive")
+        in_index = 0 if tx.zero_for_one else 1
+        balance = self.deposit_of(tx.user)
+        if balance[in_index] < tx.amount:
+            raise DepositError(
+                f"deposit {balance[in_index]} cannot cover cross-shard "
+                f"transfer of {tx.amount}"
+            )
+        amount0 = tx.amount if tx.zero_for_one else 0
+        amount1 = 0 if tx.zero_for_one else tx.amount
+        # prepare() is the last call that can raise (duplicate transfer
+        # id) — it must run before the debit so a rejection leaves all
+        # state untouched, like every other executor rejection.
+        self.shard.ledger.prepare(
+            TransferRecord(
+                transfer_id=tx.transfer_id,
+                user=tx.user,
+                source_shard=self.shard.index,
+                dest_shard=tx.dest_shard,
+                dest_pool=tx.dest_pool,
+                amount0=amount0,
+                amount1=amount1,
+                epoch=self.shard.current_epoch,
+                zero_for_one=tx.zero_for_one,
+                exact_input=tx.exact_input,
+                swap_amount=tx.amount,
+                return_output=tx.return_output,
+            )
+        )
+        balance[in_index] -= tx.amount
+        tx.effects = {"delta0": -amount0, "delta1": -amount1, "fee": 0}
+
+    def _escrow_return_leg(self, tx: CrossShardSwapTx) -> None:
+        """Round trip: escrow an executed swap's output back home."""
+        delta0 = int(tx.effects.get("delta0", 0))
+        delta1 = int(tx.effects.get("delta1", 0))
+        out0 = max(delta0, 0)
+        out1 = max(delta1, 0)
+        if out0 == 0 and out1 == 0:
+            return  # rounding left nothing to return
+        balance = self.deposit_of(tx.user)
+        balance[0] -= out0
+        balance[1] -= out1
+        tx.effects["delta0"] = delta0 - out0
+        tx.effects["delta1"] = delta1 - out1
+        shard = self.shard
+        shard.ledger.prepare(
+            TransferRecord(
+                transfer_id=shard.ledger.next_transfer_id(shard.current_epoch),
+                user=tx.user,
+                source_shard=shard.index,
+                dest_shard=tx.home_shard,
+                dest_pool="",
+                amount0=out0,
+                amount1=out1,
+                epoch=shard.current_epoch,
+                swap_amount=0,
+            )
+        )
+
+
+class ShardIngestPhase(WorkloadIngestPhase):
+    """Workload ingest that skims off cross-shard trades."""
+
+    def __init__(self, shard: "Shard") -> None:
+        self.shard = shard
+
+    def inject_traffic(  # type: ignore[override]
+        self, system: Any, count: int, submitted_at: float
+    ) -> None:
+        if count <= 0:
+            return
+        txs = system.generator.generate_round(
+            count, submitted_at, system.pool.tick
+        )
+        system.queue.extend(
+            self.shard.maybe_cross_shard(tx) for tx in txs
+        )
+
+
+class Shard:
+    """A live shard: chassis system + escrow ledger + routing state."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.index = spec.index
+        self.ledger = EscrowLedger(spec.index)
+        self.current_epoch = 0
+        self.epochs_run = 0
+        #: Pools owned by *other* shards, in deterministic order.
+        self.remote_pools: tuple[str, ...] = tuple(
+            sorted(p for p, s in spec.assignment.items() if s != spec.index)
+        )
+        self.xrng = DeterministicRng(f"{spec.chassis.seed}/xshard")
+        with counter_scope(self.index, 0):
+            self.system = AmmBoostSystem(
+                spec.chassis,
+                epoch_phases=self._build_phases(spec),
+                fault_plan=spec.fault_plan,
+                executor_factory=lambda pool: ShardExecutor(pool, self),
+            )
+            self.system.setup()
+            self.system._traffic_start = self.system.clock.now
+
+    def _build_phases(self, spec: ShardSpec) -> tuple[EpochPhase, ...]:
+        """The chassis pipeline with the shard-aware ingest swapped in.
+
+        With a per-shard fault plan the fault-aware round/summary/prune
+        stages are used, so view-change bursts and rollbacks aimed at
+        this shard apply exactly as on a single-system deployment.
+        """
+        ingest = ShardIngestPhase(self)
+        if spec.fault_plan is not None and not spec.fault_plan.is_empty():
+            from repro.faults.phases import (
+                FaultyPruneRecoveryPhase,
+                FaultyRoundExecutionPhase,
+                FaultySummarySyncPhase,
+            )
+
+            return (
+                CommitteeHandoverPhase(),
+                DepositMergePhase(),
+                ingest,
+                FaultyRoundExecutionPhase(ingest),
+                FaultySummarySyncPhase(),
+                FaultyPruneRecoveryPhase(),
+            )
+        return (
+            CommitteeHandoverPhase(),
+            DepositMergePhase(),
+            ingest,
+            RoundExecutionPhase(ingest),
+            SummarySyncPhase(),
+            PruneRecoveryPhase(),
+        )
+
+    # -- traffic ---------------------------------------------------------------
+
+    def maybe_cross_shard(self, tx: Any) -> Any:
+        """Convert a fraction of plain swaps into cross-shard transfers.
+
+        Only exact-input base swaps are converted; the draw comes from
+        the shard's own substream so the conversion pattern is stable
+        across job counts and sibling shards.
+        """
+        if (
+            type(tx) is not SwapTx
+            or not tx.exact_input
+            or not self.remote_pools
+            or self.spec.cross_shard_ratio <= 0.0
+            or self.xrng.random() >= self.spec.cross_shard_ratio
+        ):
+            return tx
+        dest_pool = self.xrng.choice(self.remote_pools)
+        transfer = CrossShardTransferTx(
+            user=tx.user,
+            zero_for_one=tx.zero_for_one,
+            exact_input=True,
+            amount=tx.amount,
+            size_bytes=tx.size_bytes + TRANSFER_EXTRA_BYTES,
+            transfer_id=self.ledger.next_transfer_id(self.current_epoch),
+            dest_shard=self.spec.assignment[dest_pool],
+            dest_pool=dest_pool,
+            return_output=self.xrng.random() < self.spec.return_ratio,
+        )
+        transfer.submitted_at = tx.submitted_at
+        return transfer
+
+    # -- epoch driving ---------------------------------------------------------
+
+    def offline(self, epoch: int) -> bool:
+        return epoch in self.spec.offline_epochs
+
+    def run_epoch(
+        self,
+        epoch: int,
+        instructions: ShardInstructions,
+        inject: bool,
+    ) -> ShardEpochRecord:
+        """Apply boundary instructions, run the chassis epoch, report.
+
+        An offline epoch (partitioned committee) runs nothing: no
+        meta-blocks, no summary, no sync, no escrow transitions; the
+        coordinator defers this shard's instructions until it heals.
+        """
+        self.current_epoch = epoch
+        if self.offline(epoch):
+            if instructions:
+                raise EscrowError(
+                    f"shard {self.index} received instructions while "
+                    f"offline in epoch {epoch}"
+                )
+            return self._record(epoch, online=False)
+        with counter_scope(self.index, epoch + 1):
+            self._apply_instructions(instructions)
+            self.system._run_epoch(epoch, inject=inject)
+            self.epochs_run += 1
+            prepares = self.ledger.prepared_in(epoch)
+            for record in prepares:
+                self.system.token_bank.escrow_lock(
+                    record.transfer_id,
+                    record.user,
+                    record.amount0,
+                    record.amount1,
+                )
+            return self._record(epoch, online=True, prepares=prepares)
+
+    def _apply_instructions(self, instructions: ShardInstructions) -> None:
+        bank = self.system.token_bank
+        now = self.system.clock.now
+        for instruction in instructions:
+            if isinstance(instruction, SourceResolve):
+                if instruction.settle:
+                    bank.escrow_release(instruction.transfer_id)
+                    self.ledger.mark_settled(instruction.transfer_id)
+                else:
+                    bank.escrow_refund(
+                        instruction.transfer_id, now, instruction.reason
+                    )
+                    self.ledger.mark_aborted(
+                        instruction.transfer_id, instruction.reason
+                    )
+            else:
+                self._apply_settle_credit(instruction, now)
+
+    def _apply_settle_credit(
+        self, credit: SettleCredit, now: float
+    ) -> None:
+        """Inbound settle: bridge the value in; enqueue the next leg."""
+        transfer = credit.transfer
+        self.system.token_bank.credit_external(
+            transfer.user, transfer.amount0, transfer.amount1, now
+        )
+        if transfer.swap_amount > 0:
+            leg = CrossShardSwapTx(
+                user=transfer.user,
+                zero_for_one=transfer.zero_for_one,
+                exact_input=transfer.exact_input,
+                amount=transfer.swap_amount,
+                transfer_id=transfer.transfer_id,
+                home_shard=transfer.source_shard,
+                return_output=transfer.return_output,
+            )
+            leg.submitted_at = now
+            self.system.queue.append(leg)
+
+    def finish(self) -> ShardFinal:
+        """Close the shard's books, mirroring ``run()``'s tail.
+
+        Drain epochs compress wall time, so the shard's last sync can
+        race its predecessor into the same mainchain block and revert on
+        a stale hand-over chain — the interruption the paper recovers by
+        mass-syncing in the following epoch.  ``finish`` applies exactly
+        that recovery: while summaries remain unsynced, run one more
+        (empty) epoch whose sync mass-covers them.
+        """
+        with counter_scope(self.index, self.current_epoch + 2):
+            system = self.system
+            system.mainchain.produce_blocks_until(
+                system.clock.now + 3 * system.mainchain.config.block_interval
+            )
+            system._check_pending_syncs()
+            recoveries = 0
+            while system._unsynced and recoveries < 3:
+                recoveries += 1
+                self.current_epoch += 1
+                system._run_epoch(self.current_epoch, inject=False)
+                self.epochs_run += 1
+                system.mainchain.produce_blocks_until(
+                    system.clock.now
+                    + 3 * system.mainchain.config.block_interval
+                )
+                system._check_pending_syncs()
+            system._finalize_metrics()
+        supply0, supply1 = self.supply()
+        return ShardFinal(
+            shard=self.index,
+            metrics=self.system.metrics.summary(),
+            ledger_counts=self.ledger.counts(),
+            supply0=supply0,
+            supply1=supply1,
+            epochs_synced=self._epochs_synced(),
+            epochs_run=self.epochs_run,
+            fault_log_len=(
+                len(self.system.faults.log)
+                if self.system.faults is not None
+                else 0
+            ),
+            state_digest=self.state_digest(),
+        )
+
+    # -- accounting ------------------------------------------------------------
+
+    def supply(self) -> tuple[int, int]:
+        """This shard's conservation terms: working + pool + unmerged.
+
+        Escrowed (in-flight) value is *not* counted here — the
+        coordinator counts each in-flight transfer exactly once in its
+        own registry until the value lands on a shard.
+        """
+        system = self.system
+        total0 = system.pool.balance0
+        total1 = system.pool.balance1
+        for balance in system.executor.deposits.values():
+            total0 += balance[0]
+            total1 += balance[1]
+        for event in system.token_bank.deposit_events[system._deposit_cursor:]:
+            total0 += event[2]
+            total1 += event[3]
+        return total0, total1
+
+    def queue_depth(self) -> int:
+        return len(self.system.queue)
+
+    def _epochs_synced(self) -> int:
+        return sum(
+            1
+            for epoch in range(self.current_epoch + 1)
+            if self.system.ledger.is_synced(epoch)
+        )
+
+    def _record(
+        self,
+        epoch: int,
+        online: bool,
+        prepares: list[TransferRecord] | None = None,
+    ) -> ShardEpochRecord:
+        supply0, supply1 = self.supply()
+        return ShardEpochRecord(
+            shard=self.index,
+            epoch=epoch,
+            online=online,
+            prepares=list(prepares or []),
+            queue_depth=self.queue_depth(),
+            processed_txs=self.system.metrics.processed_txs,
+            rejected_txs=self.system.metrics.rejected_txs,
+            epochs_synced=self._epochs_synced(),
+            supply0=supply0,
+            supply1=supply1,
+        )
+
+    def state_digest(self) -> str:
+        """A stable digest of shard state, for bit-identity tests."""
+        system = self.system
+        payload = {
+            "deposits": sorted(
+                (user, balance[0], balance[1])
+                for user, balance in system.executor.deposits.items()
+            ),
+            "pool": system.pool.snapshot(),
+            "bank_deposits": sorted(
+                (user, balance[0], balance[1])
+                for user, balance in system.token_bank.deposits.items()
+            ),
+            "escrows": sorted(
+                (r.transfer_id, r.status, r.amount0, r.amount1)
+                for r in system.token_bank.escrows.values()
+            ),
+            "ledger": sorted(
+                (r.transfer_id, r.status, r.amount0, r.amount1)
+                for r in self.ledger.records.values()
+            ),
+            "processed": system.metrics.processed_txs,
+            "rejected": system.metrics.rejected_txs,
+            "syncs": system.metrics.num_syncs,
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,97 @@
+"""Shard-skewed arrival mixes: how total traffic splits across shards.
+
+A sharded deployment carries one global daily volume; a *load profile*
+decides each shard's share of it.  Profiles return per-shard multipliers
+normalised to mean 1.0, so the deployment's total volume is conserved no
+matter how skewed the mix — the same conservation rule the bursty/diurnal
+arrival processes follow in time, applied across space.
+
+* :class:`UniformLoad` — every shard carries the same share (baseline);
+* :class:`HotShardLoad` — one shard carries ``factor`` times the others'
+  share (the canonical skew scenario: one hot market, many cold ones);
+* :class:`WeightedLoad` — arbitrary non-negative weights, for explicit
+  mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ShardLoadProfile:
+    """Interface: per-shard traffic multipliers, mean-normalised to 1."""
+
+    def multipliers(self, num_shards: int) -> tuple[float, ...]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _normalize(raw: tuple[float, ...]) -> tuple[float, ...]:
+        total = sum(raw)
+        if total <= 0:
+            raise ConfigurationError("load profile weights sum to zero")
+        scale = len(raw) / total
+        return tuple(w * scale for w in raw)
+
+
+@dataclass(frozen=True)
+class UniformLoad(ShardLoadProfile):
+    """Every shard carries an equal share of the volume."""
+
+    def multipliers(self, num_shards: int) -> tuple[float, ...]:
+        _check(num_shards)
+        return (1.0,) * num_shards
+
+
+@dataclass(frozen=True)
+class HotShardLoad(ShardLoadProfile):
+    """Shard ``hot_shard`` carries ``factor`` times the others' share."""
+
+    hot_shard: int = 0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError("hot-shard factor must be >= 1")
+        if self.hot_shard < 0:
+            raise ConfigurationError("hot_shard must be non-negative")
+
+    def multipliers(self, num_shards: int) -> tuple[float, ...]:
+        _check(num_shards)
+        if self.hot_shard >= num_shards:
+            raise ConfigurationError(
+                f"hot shard {self.hot_shard} out of range for "
+                f"{num_shards} shard(s)"
+            )
+        raw = tuple(
+            self.factor if i == self.hot_shard else 1.0
+            for i in range(num_shards)
+        )
+        return self._normalize(raw)
+
+
+@dataclass(frozen=True)
+class WeightedLoad(ShardLoadProfile):
+    """Explicit per-shard weights (normalised to mean 1)."""
+
+    weights: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(w < 0 for w in self.weights):
+            raise ConfigurationError("load weights must be non-negative")
+
+    def multipliers(self, num_shards: int) -> tuple[float, ...]:
+        _check(num_shards)
+        if len(self.weights) != num_shards:
+            raise ConfigurationError(
+                f"{len(self.weights)} weight(s) for {num_shards} shard(s)"
+            )
+        return self._normalize(tuple(self.weights))
+
+
+def _check(num_shards: int) -> None:
+    if num_shards < 1:
+        raise ConfigurationError(
+            f"need at least one shard, got {num_shards}"
+        )

@@ -37,12 +37,21 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
         "executor_round",
         "system_epoch",
         "pbft_round",
+        "sharded_epoch",
     }
     assert set(report["scenarios"]) == expected
     for name, result in report["scenarios"].items():
         assert result["ops_per_sec"] > 0, name
         assert result["seconds_per_op"] > 0, name
-    assert set(report["seed_baseline_ops_per_sec"]) == expected
+    # sharded_epoch is new in PR 5 and carries no seed-commit baseline;
+    # its scaling trajectory lives in the shard_scaling block instead.
+    assert set(report["seed_baseline_ops_per_sec"]) == expected - {
+        "sharded_epoch"
+    }
+    scaling = report["shard_scaling"]
+    assert scaling["wall_clock"]["1_shard"] > 0
+    assert scaling["wall_clock"]["4_shards"] > 0
+    assert scaling["simulated"]["speedup_4v1"] >= 2.5
 
 
 def test_run_benchmarks_store_records_feed_compare(tmp_path):

@@ -103,6 +103,10 @@ def test_legacy_private_helpers_still_drive_single_stages():
     system = small_system()
     system.setup()
     system._traffic_start = system.clock.now
+    # Stage-driving skips DepositMergePhase, so load the epoch-0 deposit
+    # snapshot by hand — without it every transaction is uncovered (and
+    # zero-liquidity swaps are now typed rejections, not nothing-swaps).
+    system.executor.begin_epoch(system.snapshot_bank.take(0).deposits)
     system._inject_traffic(5, system.clock.now)
     assert len(system.queue) == 5
     system._enqueue_bootstrap(system.clock.now)

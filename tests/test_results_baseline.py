@@ -85,9 +85,21 @@ def test_baseline_cli(tmp_path, monkeypatch, capsys):
 # -- the committed fixtures ----------------------------------------------------
 
 
+#: Extra scenarios whose fixtures ride the nightly golden grid alongside
+#: the paper set (PR 5: the shard engine's regression net).
+EXTRA_GOLDEN = {"shard_scaling", "hot_shard", "cross_shard_ratio"}
+
+
 def test_committed_fixtures_cover_the_paper_set():
     committed = {p.stem for p in GOLDEN_DIR.glob("*.json")}
-    assert committed == set(scenarios.names("paper"))
+    assert committed == set(scenarios.names("paper")) | EXTRA_GOLDEN
+
+
+def test_extra_golden_scenarios_are_registered():
+    # `baseline check` refuses fixtures of unregistered scenarios; keep
+    # the extra-golden set in sync with the registry.
+    for name in EXTRA_GOLDEN:
+        assert scenarios.is_registered(name)
 
 
 def test_committed_fixtures_are_wellformed():
