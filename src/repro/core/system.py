@@ -274,6 +274,10 @@ class AmmBoostSystem:
         self._next_epoch = 0
         self._bootstrap_done = False
         self._setup_done = False
+        #: One entry per executed mainchain rollback that rewound bank
+        #: state: ``{"restored_epoch": ..., "syncs_lost": ...}``.  The
+        #: sharded coordinator drains this to drive bridge compensation.
+        self.bridge_rewinds: list[dict[str, int]] = []
 
     @staticmethod
     def _require_fault_aware_phases(epoch_phases, fault_plan) -> None:
@@ -437,6 +441,19 @@ class AmmBoostSystem:
         earliest = affected[0]
         self.token_bank.restore_state(earliest.pre_state)
         self._onchain_vkc_epoch = earliest.pre_vkc_epoch
+        # The restore may truncate deposit_events below the merge cursor
+        # (every truncated event was already merged into the executor, so
+        # no value is lost); clamp the cursor so events appended after
+        # the fork are not hidden from the next deposit merge.
+        self._deposit_cursor = min(
+            self._deposit_cursor, len(self.token_bank.deposit_events)
+        )
+        self.bridge_rewinds.append(
+            {
+                "restored_epoch": earliest.signer_epoch,
+                "syncs_lost": len(affected),
+            }
+        )
         # Resurrect the lost summaries so the next sync mass-covers them.
         for record in affected:
             for summary in record.payload.summaries:

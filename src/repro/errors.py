@@ -183,3 +183,16 @@ class PlacementError(ShardError):
 
 class EscrowError(ShardError):
     """An escrow transfer was driven through an invalid state transition."""
+
+
+class WorkerLostError(ShardError):
+    """A scheduler worker died and stayed dead through its retry budget.
+
+    Raised when respawn-with-replay is exhausted and graceful
+    degradation is disabled.  ``concise`` marks the message as complete
+    on its own: front-ends (the experiments CLI) print it as a one-line
+    failure instead of a traceback — the interesting state is the
+    worker's, and that process is gone.
+    """
+
+    concise = True

@@ -11,12 +11,14 @@ deployment (:mod:`repro.sharding`), leaving every other shard untouched:
   until it heals.  Healing is implicit at the first epoch not in the
   set.
 * ``plan`` — an epoch-layer :class:`~repro.faults.FaultPlan` (withheld
-  syncs, view-change bursts) compiled onto that shard's chassis system
-  exactly as a single-system plan would be; the shard's fault log ends
-  up in its system's ``faults.log``.  Mainchain :class:`Rollback`
-  events are rejected: a fork would rewind bridge credits other shards
-  already settled, and bridge-aware fork recovery is still an open
-  ROADMAP item.
+  syncs, view-change bursts, mainchain :class:`Rollback` forks)
+  compiled onto that shard's chassis system exactly as a single-system
+  plan would be; the shard's fault log ends up in its system's
+  ``faults.log``.  A per-shard ``Rollback`` rewinds that shard's
+  mainchain bank past bridge writes other shards already acted on; the
+  coordinator's bridge journal (:mod:`repro.recovery.journal`) replays
+  the rewound window and delivers compensating entries at the next
+  boundary, so deployment-wide conservation holds through the fork.
 
 The invariants the shard fault scenarios check: every *other* shard
 keeps finalizing its epochs, and no cross-shard value is lost — aborted
@@ -28,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.faults.plan import EMPTY_PLAN, FaultPlan, Rollback
+from repro.faults.plan import EMPTY_PLAN, FaultPlan
 
 
 @dataclass(frozen=True)
@@ -54,23 +56,6 @@ class ShardFault:
                 "shard faults compile onto the epoch-level chassis; "
                 "message-layer events do not apply (install them on a "
                 "Network / PbftRound instead)"
-            )
-        if self.plan.of_type(Rollback):
-            # A fork rewinds the shard's TokenBank past settle credits
-            # and refunds that other shards' escrows already released —
-            # the mass-sync recovery replays summaries, not bridge
-            # transactions, so the value would be destroyed and the
-            # deployment-wide conservation check would (rightly) abort
-            # the run.  Bridge-aware fork recovery is the ROADMAP's
-            # cross-shard rebalancing open item; reject the plan with a
-            # typed error until it exists.
-            raise ConfigurationError(
-                "Rollback events are not supported in per-shard fault "
-                "plans: a fork would rewind bridge credits other shards "
-                "already settled (cross-shard fork recovery is an open "
-                "ROADMAP item); use SyncWithhold / ViewChangeBurst / "
-                "offline_epochs, or a Rollback plan on an unsharded "
-                "AmmBoostSystem"
             )
 
 

@@ -60,6 +60,11 @@ class MetricsCollector:
     #: Deepest the transaction queue ever got (post-ingest, pre-mining) —
     #: the congestion signal for bursty/diurnal arrival scenarios.
     peak_queue_depth: int = 0
+    #: Cross-shard legs refunded at this (source) shard, bucketed by the
+    #: typed abort reason the resolve carried.
+    refunds_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Total aborted cross-shard legs (the sum over refunds_by_reason).
+    aborted_legs: int = 0
 
     @property
     def throughput(self) -> float:
@@ -72,6 +77,12 @@ class MetricsCollector:
         for label, amount in breakdown.items():
             self.gas_by_label[label] = self.gas_by_label.get(label, 0) + amount
             self.total_gas += amount
+
+    def record_refund(self, reason: str) -> None:
+        """Count one aborted cross-shard leg refunded at this shard."""
+        key = reason or "unspecified"
+        self.refunds_by_reason[key] = self.refunds_by_reason.get(key, 0) + 1
+        self.aborted_legs += 1
 
     def summary(self) -> dict:
         """Plain-dict summary convenient for benches and reports."""
@@ -87,5 +98,7 @@ class MetricsCollector:
             "sidechain_live_bytes": self.sidechain_live_bytes,
             "num_syncs": self.num_syncs,
             "peak_queue_depth": self.peak_queue_depth,
+            "aborted_legs": self.aborted_legs,
+            "refunds_by_reason": dict(sorted(self.refunds_by_reason.items())),
             "elapsed_seconds": round(self.elapsed_seconds, 1),
         }

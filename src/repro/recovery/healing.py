@@ -1,0 +1,136 @@
+"""Self-healing scheduler support: crash injection, retry policy, replay.
+
+The shard scheduler drives persistent forked workers over pipes; a
+worker dying (or wedging) mid-epoch used to kill the whole run.  The
+types here make recovery deterministic and testable:
+
+* :class:`SchedulerRecoveryConfig` — heartbeat/timeout detection plus a
+  bounded retry-with-backoff schedule whose jitter comes from
+  :class:`~repro.simulation.rng.DeterministicRng` substreams keyed by
+  ``(seed, slot, attempt)``.  Backoff only shapes *wall-clock* pacing —
+  no global RNG is touched — so a run with ``jobs=N`` stays bit-identical
+  to serial whether or not a worker was respawned along the way.
+* :class:`WorkerCrash` — declarative crash injection for tests: worker
+  slot ``slot`` hard-exits (``os._exit``) when asked to run ``epoch``.
+  A transient crash is dropped on respawn (the retry succeeds); a
+  ``persistent`` one rides along and exhausts the retry budget, which
+  is how the degraded/fatal paths are exercised.
+* :class:`EpochLog` — the per-worker message journal that makes respawn
+  possible at all.  Live shard state is process-local and not
+  picklable, so a replacement worker is rebuilt from its specs and
+  **replays the journal** — every epoch message since genesis, which by
+  lock-step determinism reconstructs the exact per-shard state at the
+  last completed boundary.  The log pickles to disk (`save`/`load`),
+  giving runs an artifact-store-style spool a post-mortem or external
+  respawn can replay from.
+
+When the budget is exhausted the scheduler either degrades (the slot's
+shards are marked failed; the coordinator freezes their accounting and
+rejects new cross-shard legs against them with typed retryable errors
+while every other shard keeps finalizing) or, with ``degrade=False``,
+raises :class:`~repro.errors.WorkerLostError` — a concise, typed
+failure the experiments CLI turns into a clean one-line exit.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.simulation.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Test directive: worker slot ``slot`` dies when running ``epoch``."""
+
+    slot: int
+    epoch: int
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ConfigurationError("crash slot must be non-negative")
+        if self.epoch < 0:
+            raise ConfigurationError("crash epoch must be non-negative")
+
+
+@dataclass(frozen=True)
+class SchedulerRecoveryConfig:
+    """Bounded deterministic self-healing for scheduler workers.
+
+    ``max_retries`` counts respawn attempts per failure before giving
+    up.  ``degrade=True`` turns an exhausted budget into graceful
+    degradation (failed shards are frozen, the run keeps finalizing);
+    ``degrade=False`` raises ``WorkerLostError`` instead.  The backoff
+    schedule is exponential with multiplicative jitter drawn from a
+    dedicated substream — deterministic per ``(seed, slot, attempt)``
+    and invisible to every simulation RNG stream.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.01
+    backoff_max_s: float = 0.25
+    heartbeat_timeout_s: float = 300.0
+    heartbeat_interval_s: float = 0.05
+    degrade: bool = True
+    seed: int | str = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff bounds must be >= 0")
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigurationError("heartbeat timeout must be > 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError("heartbeat interval must be > 0")
+
+    def backoff_s(self, slot: int, attempt: int) -> float:
+        """Deterministic jittered backoff before respawn ``attempt``."""
+        base = min(
+            self.backoff_base_s * (2 ** max(attempt - 1, 0)),
+            self.backoff_max_s,
+        )
+        rng = DeterministicRng(f"{self.seed}/respawn/{slot}/{attempt}")
+        return base * rng.uniform(0.5, 1.5)
+
+
+@dataclass
+class EpochLog:
+    """Append-only journal of one worker's epoch messages.
+
+    Replaying the journal against freshly-built shards reconstructs the
+    worker's state at its last completed boundary — the respawn path —
+    and ``save``/``load`` spool it to disk for external replay.
+    """
+
+    messages: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def append(self, message: tuple[Any, ...]) -> None:
+        self.messages.append(message)
+
+    def replay_messages(self) -> list[tuple[Any, ...]]:
+        """Every fully-delivered message except the in-flight last one."""
+        return list(self.messages[:-1])
+
+    def current(self) -> tuple[Any, ...] | None:
+        """The in-flight message a respawned worker must re-run."""
+        return self.messages[-1] if self.messages else None
+
+    def manifest(self) -> dict[str, int]:
+        epochs = sum(1 for m in self.messages if m and m[0] == "epoch")
+        return {"messages": len(self.messages), "epochs": epochs}
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(pickle.dumps(self.messages))
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EpochLog":
+        return cls(messages=pickle.loads(Path(path).read_bytes()))

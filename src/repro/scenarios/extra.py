@@ -382,10 +382,13 @@ def arrivals_spec() -> ScenarioSpec:
 
 #: Builders for the extra scenarios, in listing order.  The fault-injection
 #: scenarios (partition_heal, crash_churn, delta_sweep,
-#: interrupted_recovery) live in :mod:`repro.scenarios.faults`, and the
+#: interrupted_recovery) live in :mod:`repro.scenarios.faults`, the
 #: sharding scenarios (shard_scaling, hot_shard, cross_shard_ratio) in
-#: :mod:`repro.scenarios.shard`; both register through the same tuple.
+#: :mod:`repro.scenarios.shard`, and the recovery scenarios
+#: (fork_recovery, shard_rebalance) in :mod:`repro.scenarios.recovery`;
+#: all register through the same tuple.
 from repro.scenarios.faults import FAULT_SPEC_BUILDERS  # noqa: E402
+from repro.scenarios.recovery import RECOVERY_SPEC_BUILDERS  # noqa: E402
 from repro.scenarios.shard import SHARD_SPEC_BUILDERS  # noqa: E402
 
 EXTRA_SPEC_BUILDERS = (
@@ -393,4 +396,4 @@ EXTRA_SPEC_BUILDERS = (
     adversarial_spec,
     pbft_adversary_spec,
     arrivals_spec,
-) + FAULT_SPEC_BUILDERS + SHARD_SPEC_BUILDERS
+) + FAULT_SPEC_BUILDERS + SHARD_SPEC_BUILDERS + RECOVERY_SPEC_BUILDERS

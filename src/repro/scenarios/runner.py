@@ -106,7 +106,11 @@ def _invoke(task: tuple) -> tuple:
         result = fn(params)
         return ("ok", result, time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 — reported per-scenario by the caller
-        return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+        # Errors flagged ``concise`` (e.g. WorkerLostError: a shard
+        # worker died past its retry budget) are operational outcomes,
+        # not programming bugs — one clean line, no traceback.
+        details = "" if getattr(exc, "concise", False) else traceback.format_exc()
+        return ("err", f"{type(exc).__name__}: {exc}", details)
 
 
 def _pool_context():

@@ -35,6 +35,7 @@ whole protocol is bit-identical under any scheduler job count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.transactions import SwapTx
 from repro.errors import EscrowError
@@ -78,15 +79,25 @@ class SettleCredit:
 
 @dataclass
 class SourceResolve:
-    """Coordinator -> source shard: release or refund a prepared escrow."""
+    """Coordinator -> source shard: release or refund a prepared escrow.
+
+    ``code`` is the machine-readable abort code ("" for settles);
+    retryable codes are listed in
+    :data:`repro.sharding.router.RETRYABLE_ABORTS`.
+    """
 
     transfer_id: str
     settle: bool
     reason: str = ""
+    code: str = ""
 
 
-#: One shard's settlement inbox for an epoch.
-ShardInstructions = list[SettleCredit | SourceResolve]
+#: One shard's settlement inbox for an epoch.  Beyond the two escrow
+#: instructions it may carry the recovery layer's boundary directives
+#: (fork compensations and pool-migration steps, see
+#: :mod:`repro.recovery`); the list type stays permissive so the escrow
+#: module does not depend on the recovery package.
+ShardInstructions = list[Any]
 
 
 def transfer_sort_key(transfer_id: str) -> tuple:

@@ -10,6 +10,10 @@ Resolution rules, per prepared transfer at the boundary into epoch ``b``:
 
 * destination shard unknown, or destination pool not owned by it →
   **abort** (typed reason, refunded at the source);
+* destination shard failed (its scheduler worker died past its retry
+  budget) → **abort** (``shard_failed``, non-retryable);
+* destination pool mid-migration → **abort** (``pool_migrating``,
+  retryable: resubmit once the handoff completes);
 * destination shard offline in ``b`` → **abort** ("cross-shard swaps to
   a partitioned shard abort cleanly");
 * otherwise → **settle**: the credit is delivered to the destination in
@@ -18,9 +22,17 @@ Resolution rules, per prepared transfer at the boundary into epoch ``b``:
   value has already landed exactly once at the destination — the
   registry tracks delivery so nothing is duplicated or lost).
 
+Every abort carries a machine-readable ``code`` next to its prose
+reason; codes in :data:`RETRYABLE_ABORTS` mark transient conditions
+(partition, migration window, stale route) a sender can simply retry.
+
 The registry is also the conservation authority: every in-flight
 transfer's value is counted exactly once — here — until it lands on a
-shard (destination credit for settles, source refund for aborts).
+shard (destination credit for settles, source refund for aborts).  A
+*failed* shard can neither receive nor apply instructions, ever; an
+entry whose only outstanding deliveries target failed shards is
+*parked*: its value stays counted in flight forever (balancing the
+failed shard's frozen books) but it no longer holds up the drain loop.
 """
 
 from __future__ import annotations
@@ -36,6 +48,12 @@ from repro.sharding.escrow import (
     transfer_sort_key,
 )
 
+#: Abort codes marking transient conditions: the sender can resubmit
+#: the same trade and expect it to go through once the condition clears.
+RETRYABLE_ABORTS = frozenset(
+    {"dest_partitioned", "pool_migrating", "stale_route"}
+)
+
 
 @dataclass
 class InFlightTransfer:
@@ -45,6 +63,8 @@ class InFlightTransfer:
     decided: bool = False
     settle: bool = False
     reason: str = ""
+    #: Machine-readable abort code ("" for settles).
+    code: str = ""
     #: Settle credit delivered to the destination (value landed).
     credit_delivered: bool = False
     #: Source-side release/refund delivered (abort value lands here).
@@ -78,23 +98,49 @@ class CrossShardRouter:
         return self.assignment.get(pool_id)
 
     def classify(
-        self, transfer: TransferRecord, offline: frozenset[int]
-    ) -> tuple[bool, str]:
-        """(settle?, abort reason) for a transfer at this boundary."""
+        self,
+        transfer: TransferRecord,
+        offline: frozenset[int],
+        failed: frozenset[int] = frozenset(),
+        migrating: frozenset[str] = frozenset(),
+    ) -> tuple[bool, str, str]:
+        """(settle?, abort reason, abort code) at this boundary."""
         if not 0 <= transfer.dest_shard < self.num_shards:
-            return False, f"unknown destination shard {transfer.dest_shard}"
+            return (
+                False,
+                f"unknown destination shard {transfer.dest_shard}",
+                "unknown_shard",
+            )
+        if transfer.dest_shard in failed:
+            return (
+                False,
+                f"destination shard {transfer.dest_shard} is lost "
+                "(worker failed)",
+                "shard_failed",
+            )
+        if transfer.dest_pool and transfer.dest_pool in migrating:
+            return (
+                False,
+                f"pool {transfer.dest_pool} is migrating; retry after "
+                "the handoff",
+                "pool_migrating",
+            )
         if transfer.dest_pool:
             owner = self.owner_of(transfer.dest_pool)
             if owner != transfer.dest_shard:
-                return False, (
+                return (
+                    False,
                     f"pool {transfer.dest_pool} is not on shard "
-                    f"{transfer.dest_shard}"
+                    f"{transfer.dest_shard}",
+                    "stale_route",
                 )
         if transfer.dest_shard in offline:
-            return False, (
-                f"destination shard {transfer.dest_shard} is partitioned"
+            return (
+                False,
+                f"destination shard {transfer.dest_shard} is partitioned",
+                "dest_partitioned",
             )
-        return True, ""
+        return True, "", ""
 
 
 @dataclass
@@ -127,12 +173,17 @@ class TransferRegistry:
         return {**self.completed, **self.entries}
 
     def instructions_for(
-        self, offline: frozenset[int]
+        self,
+        offline: frozenset[int],
+        failed: frozenset[int] = frozenset(),
+        migrating: frozenset[str] = frozenset(),
     ) -> dict[int, ShardInstructions]:
         """Build every shard's settlement inbox for the coming epoch.
 
         Decides undecided transfers, delivers whatever each online shard
         can apply, and defers the rest.  Mutates the registry state.
+        Failed shards never receive anything: a delivery they would need
+        stays undelivered and the entry parks.
         """
         instructions: dict[int, ShardInstructions] = {}
 
@@ -145,16 +196,30 @@ class TransferRegistry:
             entry = self.entries[transfer_id]
             transfer = entry.transfer
             if not entry.decided:
-                settle, reason = self.router.classify(transfer, offline)
+                settle, reason, code = self.router.classify(
+                    transfer, offline, failed=failed, migrating=migrating
+                )
                 entry.decided = True
                 entry.settle = settle
                 entry.reason = reason
+                entry.code = code
                 if settle:
                     # Destination is online by construction of classify.
                     deliver(transfer.dest_shard, SettleCredit(transfer))
                     entry.credit_delivered = True
-            if not entry.resolve_delivered and (
-                transfer.source_shard not in offline
+            elif (
+                entry.settle
+                and not entry.credit_delivered
+                and transfer.dest_shard not in offline
+                and transfer.dest_shard not in failed
+            ):
+                # A previously-revoked credit, redeliverable now.
+                deliver(transfer.dest_shard, SettleCredit(transfer))
+                entry.credit_delivered = True
+            if (
+                not entry.resolve_delivered
+                and transfer.source_shard not in offline
+                and transfer.source_shard not in failed
             ):
                 deliver(
                     transfer.source_shard,
@@ -162,12 +227,54 @@ class TransferRegistry:
                         transfer_id=transfer.transfer_id,
                         settle=entry.settle,
                         reason=entry.reason,
+                        code=entry.code,
                     ),
                 )
                 entry.resolve_delivered = True
             if entry.complete:
                 self.completed[transfer_id] = self.entries.pop(transfer_id)
         return instructions
+
+    def revoke_deliveries(
+        self, shard: int, inbox: ShardInstructions
+    ) -> None:
+        """Unmark deliveries a dead worker never applied.
+
+        When a scheduler slot exhausts its retry budget, the inbox sent
+        with the fatal epoch message was lost with the process.  The
+        registry must stop believing that value landed: revoked entries
+        return to the active set with their delivery flags cleared, so
+        in-flight accounting keeps counting them (conservation) and —
+        where the target is not the failed shard itself — redelivery can
+        happen at a later boundary.
+        """
+        for item in inbox:
+            if isinstance(item, SettleCredit):
+                entry = self._reactivate(item.transfer.transfer_id)
+                if entry is not None:
+                    entry.credit_delivered = False
+            elif isinstance(item, SourceResolve):
+                entry = self._reactivate(item.transfer_id)
+                if entry is not None:
+                    entry.resolve_delivered = False
+
+    def _reactivate(self, transfer_id: str) -> InFlightTransfer | None:
+        if transfer_id in self.completed:
+            self.entries[transfer_id] = self.completed.pop(transfer_id)
+        return self.entries.get(transfer_id)
+
+    def parked(
+        self, entry: InFlightTransfer, failed: frozenset[int]
+    ) -> bool:
+        """True when every outstanding delivery targets a failed shard."""
+        if not entry.decided:
+            return False
+        outstanding = []
+        if entry.settle and not entry.credit_delivered:
+            outstanding.append(entry.transfer.dest_shard)
+        if not entry.resolve_delivered:
+            outstanding.append(entry.transfer.source_shard)
+        return bool(outstanding) and all(s in failed for s in outstanding)
 
     # -- accounting ------------------------------------------------------------
 
@@ -184,8 +291,14 @@ class TransferRegistry:
                 total1 += entry.transfer.amount1
         return total0, total1
 
-    def has_pending(self) -> bool:
-        return bool(self.entries)
+    def has_pending(self, failed: frozenset[int] = frozenset()) -> bool:
+        """Work left?  Parked entries never resolve — don't wait on them."""
+        if not failed:
+            return bool(self.entries)
+        return any(
+            not self.parked(entry, failed)
+            for entry in self.entries.values()
+        )
 
     def counts(self) -> dict[str, int]:
         out = {"prepared": 0, "settled": 0, "aborted": 0}
@@ -197,3 +310,12 @@ class TransferRegistry:
             else:
                 out["aborted"] += 1
         return out
+
+    def abort_codes(self) -> dict[str, int]:
+        """Aborted-transfer totals bucketed by machine-readable code."""
+        out: dict[str, int] = {}
+        for entry in self.all_entries().values():
+            if entry.decided and not entry.settle:
+                key = entry.code or "other"
+                out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))

@@ -19,6 +19,18 @@ metrics — wrapped with three shard-aware pieces:
   and reports a picklable :class:`ShardEpochRecord` back to the
   coordinator.
 
+Beyond escrow settlement the boundary inbox carries the recovery
+layer's instructions (:mod:`repro.recovery`): fork compensations
+(:class:`~repro.recovery.journal.RelockEscrow` /
+:class:`~repro.recovery.journal.ResyncResolve`, both idempotent) and
+pool-migration directives — a shard sheds a pool and its volume share
+on :class:`~repro.recovery.migration.BeginPoolMigration`, sealing a
+manifest into its epoch record, and gains them on
+:class:`~repro.recovery.migration.CompletePoolMigration` one boundary
+later.  Routing state (assignment, owned pools, arrival volume) is
+therefore *live* per shard; absent migrations it never changes and the
+shard's trajectory is byte-identical to a fixed-placement run.
+
 Every shard stage runs inside a deterministic id-counter scope
 (:mod:`repro.sharding.determinism`) and draws randomness only from
 shard-local substreams, so a shard's trajectory is bit-identical whether
@@ -44,8 +56,19 @@ from repro.core.phases import (
 )
 from repro.core.system import AmmBoostConfig, AmmBoostSystem
 from repro.core.transactions import SwapTx
-from repro.errors import DepositError, EscrowError
+from repro.errors import DepositError, EscrowError, PlacementError
 from repro.faults.plan import FaultPlan
+from repro.recovery.journal import (
+    RelockEscrow,
+    ResyncResolve,
+    RollbackReport,
+)
+from repro.recovery.migration import (
+    AssignmentUpdate,
+    BeginPoolMigration,
+    CompletePoolMigration,
+    PoolManifest,
+)
 from repro.sharding.determinism import counter_scope
 from repro.sharding.escrow import (
     CrossShardSwapTx,
@@ -99,6 +122,13 @@ class ShardEpochRecord:
     epochs_synced: int = 0
     supply0: int = 0
     supply1: int = 0
+    #: Mainchain forks this shard executed during the epoch — the
+    #: coordinator replays its bridge journal over each one.
+    rollbacks: list[RollbackReport] = field(default_factory=list)
+    #: Pool handoffs sealed this epoch (migration protocol, step one).
+    manifests: list[PoolManifest] = field(default_factory=list)
+    #: Cumulative peak queue depth — the rebalancing pressure signal.
+    peak_queue_depth: int = 0
 
 
 @dataclass
@@ -114,6 +144,10 @@ class ShardFinal:
     epochs_run: int = 0
     fault_log_len: int = 0
     state_digest: str = ""
+    #: True when this final was synthesized by the coordinator because
+    #: the shard's worker was lost past its retry budget: metrics are
+    #: frozen at the last reported epoch and the digest is synthetic.
+    degraded: bool = False
 
 
 class ShardExecutor(SidechainExecutor):
@@ -208,10 +242,28 @@ class ShardExecutor(SidechainExecutor):
 
 
 class ShardIngestPhase(WorkloadIngestPhase):
-    """Workload ingest that skims off cross-shard trades."""
+    """Workload ingest that skims off cross-shard trades.
+
+    The arrival rate derives from the *shard's* live daily volume, not
+    the frozen chassis config: pool migrations move volume between
+    shards mid-run, and the shed/gained share must show up in the very
+    next epoch's arrivals.  Without migrations the two are equal and the
+    computation is bit-identical to the chassis phase.
+    """
 
     def __init__(self, shard: "Shard") -> None:
         self.shard = shard
+
+    def run(self, system: Any, ctx: Any) -> None:
+        from repro.workload.generator import arrival_rate_per_round
+
+        ctx.rho = (
+            arrival_rate_per_round(
+                self.shard.daily_volume, system.config.round_duration
+            )
+            if ctx.inject
+            else 0
+        )
 
     def inject_traffic(  # type: ignore[override]
         self, system: Any, count: int, submitted_at: float
@@ -235,10 +287,19 @@ class Shard:
         self.ledger = EscrowLedger(spec.index)
         self.current_epoch = 0
         self.epochs_run = 0
+        # Live routing state: seeded from the spec, mutated only by
+        # migration directives (fixed placements never touch it).
+        self.assignment: dict[str, int] = dict(spec.assignment)
+        self.owned_pools: set[str] = {
+            p for p, s in self.assignment.items() if s == spec.index
+        }
+        self.daily_volume: int = spec.chassis.daily_volume
         #: Pools owned by *other* shards, in deterministic order.
         self.remote_pools: tuple[str, ...] = tuple(
-            sorted(p for p, s in spec.assignment.items() if s != spec.index)
+            sorted(p for p, s in self.assignment.items() if s != spec.index)
         )
+        self._sealed_manifests: list[PoolManifest] = []
+        self._rewind_cursor = 0
         self.xrng = DeterministicRng(f"{spec.chassis.seed}/xshard")
         with counter_scope(self.index, 0):
             self.system = AmmBoostSystem(
@@ -307,7 +368,7 @@ class Shard:
             amount=tx.amount,
             size_bytes=tx.size_bytes + TRANSFER_EXTRA_BYTES,
             transfer_id=self.ledger.next_transfer_id(self.current_epoch),
-            dest_shard=self.spec.assignment[dest_pool],
+            dest_shard=self.assignment[dest_pool],
             dest_pool=dest_pool,
             return_output=self.xrng.random() < self.spec.return_ratio,
         )
@@ -343,6 +404,7 @@ class Shard:
             self._apply_instructions(instructions)
             self.system._run_epoch(epoch, inject=inject)
             self.epochs_run += 1
+            rollbacks = self._drain_rewinds(epoch)
             prepares = self.ledger.prepared_in(epoch)
             for record in prepares:
                 self.system.token_bank.escrow_lock(
@@ -351,7 +413,9 @@ class Shard:
                     record.amount0,
                     record.amount1,
                 )
-            return self._record(epoch, online=True, prepares=prepares)
+            return self._record(
+                epoch, online=True, prepares=prepares, rollbacks=rollbacks
+            )
 
     def _apply_instructions(self, instructions: ShardInstructions) -> None:
         bank = self.system.token_bank
@@ -368,6 +432,18 @@ class Shard:
                     self.ledger.mark_aborted(
                         instruction.transfer_id, instruction.reason
                     )
+                    self.system.metrics.record_refund(instruction.reason)
+            elif isinstance(instruction, RelockEscrow):
+                self._apply_relock(instruction.transfer)
+            elif isinstance(instruction, ResyncResolve):
+                self._apply_resync(instruction)
+            elif isinstance(instruction, BeginPoolMigration):
+                self._begin_migration(instruction)
+            elif isinstance(instruction, CompletePoolMigration):
+                self._complete_migration(instruction.manifest)
+            elif isinstance(instruction, AssignmentUpdate):
+                self.assignment[instruction.pool_id] = instruction.shard
+                self._refresh_remote_pools()
             else:
                 self._apply_settle_credit(instruction, now)
 
@@ -391,6 +467,107 @@ class Shard:
             )
             leg.submitted_at = now
             self.system.queue.append(leg)
+
+    # -- fork compensation -----------------------------------------------------
+
+    def _apply_relock(self, transfer: TransferRecord) -> None:
+        """Recreate an escrow lock a mainchain fork erased.
+
+        Idempotent — a lock the fork did not actually reach (the
+        coordinator's rewound window is an over-approximation) or one a
+        previous compensation already restored is left alone.
+        """
+        bank = self.system.token_bank
+        if transfer.transfer_id in bank.escrows:
+            return
+        bank.escrow_lock(
+            transfer.transfer_id,
+            transfer.user,
+            transfer.amount0,
+            transfer.amount1,
+        )
+
+    def _apply_resync(self, resync: ResyncResolve) -> None:
+        """Re-apply a release/refund status a fork erased — status only.
+
+        The resolve's value movement (a refund's bridge credit) merged
+        into the executor before the fork and survived it; re-running
+        ``escrow_refund`` would mint the refund a second time, so only
+        the record's terminal status is restored.  Idempotent: a record
+        that is already terminal is left alone.
+        """
+        record = self.system.token_bank.escrows.get(resync.transfer_id)
+        if record is None or record.status != record.PREPARED:
+            return
+        if resync.settle:
+            record.status = record.SETTLED
+        else:
+            record.status = record.REFUNDED
+            record.abort_reason = resync.reason
+
+    def _drain_rewinds(self, epoch: int) -> list[RollbackReport]:
+        """Turn the chassis' fork log into reports for the coordinator."""
+        rewinds = self.system.bridge_rewinds
+        reports = [
+            RollbackReport(
+                shard=self.index,
+                epoch=epoch,
+                restored_epoch=rewind["restored_epoch"],
+                syncs_lost=rewind["syncs_lost"],
+            )
+            for rewind in rewinds[self._rewind_cursor:]
+        ]
+        self._rewind_cursor = len(rewinds)
+        return reports
+
+    # -- pool migration --------------------------------------------------------
+
+    def _begin_migration(self, begin: BeginPoolMigration) -> None:
+        """Shed a pool and its volume share; seal the handoff manifest."""
+        if begin.pool_id not in self.owned_pools:
+            raise PlacementError(
+                f"shard {self.index} cannot shed pool {begin.pool_id!r} "
+                "it does not own"
+            )
+        volume_moved = self.daily_volume // len(self.owned_pools)
+        self.owned_pools.discard(begin.pool_id)
+        self.daily_volume -= volume_moved
+        self.assignment[begin.pool_id] = begin.to_shard
+        self._refresh_remote_pools()
+        self._sealed_manifests.append(
+            PoolManifest(
+                pool_id=begin.pool_id,
+                from_shard=self.index,
+                to_shard=begin.to_shard,
+                sealed_epoch=self.current_epoch,
+                volume_moved=volume_moved,
+                book_digest=self._book_digest(),
+            )
+        )
+
+    def _complete_migration(self, manifest: PoolManifest) -> None:
+        """Activate a migrated pool: gain its label and volume share."""
+        if manifest.to_shard != self.index:
+            raise PlacementError(
+                f"shard {self.index} received a migration manifest "
+                f"addressed to shard {manifest.to_shard}"
+            )
+        self.owned_pools.add(manifest.pool_id)
+        self.daily_volume += manifest.volume_moved
+        self.assignment[manifest.pool_id] = self.index
+        self._refresh_remote_pools()
+
+    def _refresh_remote_pools(self) -> None:
+        self.remote_pools = tuple(
+            sorted(p for p, s in self.assignment.items() if s != self.index)
+        )
+
+    def _book_digest(self) -> str:
+        """Fingerprint of the AMM book, sealed into pool manifests."""
+        blob = json.dumps(
+            self.system.pool.snapshot(), sort_keys=True
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
 
     def finish(self) -> ShardFinal:
         """Close the shard's books, mirroring ``run()``'s tail.
@@ -472,8 +649,11 @@ class Shard:
         epoch: int,
         online: bool,
         prepares: list[TransferRecord] | None = None,
+        rollbacks: list[RollbackReport] | None = None,
     ) -> ShardEpochRecord:
         supply0, supply1 = self.supply()
+        manifests = self._sealed_manifests
+        self._sealed_manifests = []
         return ShardEpochRecord(
             shard=self.index,
             epoch=epoch,
@@ -485,6 +665,9 @@ class Shard:
             epochs_synced=self._epochs_synced(),
             supply0=supply0,
             supply1=supply1,
+            rollbacks=list(rollbacks or []),
+            manifests=manifests,
+            peak_queue_depth=self.system.metrics.peak_queue_depth,
         )
 
     def state_digest(self) -> str:

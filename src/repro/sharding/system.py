@@ -17,6 +17,19 @@ checks token conservation across the whole deployment, and computes the
 settlement instructions each shard applies at the start of *e + 1*.
 After the configured traffic epochs the deployment drains: epochs keep
 running until every queue is empty and no transfer is in flight.
+
+The recovery layer (:mod:`repro.recovery`) threads through the same
+boundary exchange: every bank-touching delivery is recorded in a
+:class:`~repro.recovery.journal.BridgeJournal` so a shard's mainchain
+fork can be compensated deterministically at the next boundary; a
+:class:`~repro.recovery.migration.MigrationEngine` turns rebalance
+policy decisions into pool handoffs riding the settlement inboxes; and
+the scheduler heals crashed workers (or degrades around irrecoverable
+ones — their shards freeze, their undelivered instructions are revoked
+back into the registry, and the rest of the deployment keeps
+finalizing).  With no faults, no crashes, and no rebalance policy every
+one of these is a no-op and runs are byte-identical to the plain
+sharded engine.
 """
 
 from __future__ import annotations
@@ -27,11 +40,28 @@ from dataclasses import dataclass, field, replace
 from repro.core.system import AmmBoostConfig
 from repro.errors import ConfigurationError, EscrowError
 from repro.faults.shard import ShardFault, ShardFaultBook
+from repro.recovery.healing import SchedulerRecoveryConfig, WorkerCrash
+from repro.recovery.journal import (
+    BridgeJournal,
+    RelockEscrow,
+    ResyncResolve,
+)
+from repro.recovery.migration import (
+    MigrationEngine,
+    PoolManifest,
+    RebalancePolicy,
+    ScheduledMigrations,
+)
 from repro.sharding.placement import (
     PlacementPolicy,
     RoundRobinPlacement,
     pools_of,
     validate_assignment,
+)
+from repro.sharding.escrow import (
+    SettleCredit,
+    ShardInstructions,
+    SourceResolve,
 )
 from repro.sharding.router import CrossShardRouter, TransferRegistry
 from repro.sharding.scheduler import ShardScheduler
@@ -66,6 +96,13 @@ class ShardedConfig:
     shard_faults: tuple[ShardFault, ...] = ()
     #: Cap on drain epochs after traffic stops.
     max_drain_epochs: int = 50
+    #: Scheduler self-healing knobs (``None`` = defaults: 2 respawn
+    #: attempts, then degrade around the lost slot).
+    recovery: SchedulerRecoveryConfig | None = None
+    #: Test-injection directives: kill worker slots at given epochs.
+    worker_crashes: tuple[WorkerCrash, ...] = ()
+    #: Pool-rebalancing policy (``None`` = no migrations, ever).
+    rebalance: RebalancePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -110,6 +147,14 @@ class ShardedRunReport:
     supply1: int
     assignment: dict[str, int]
     per_shard: dict[int, ShardFinal]
+    #: Aborted-transfer totals bucketed by machine-readable code.
+    abort_codes: dict[str, int] = field(default_factory=dict)
+    #: Bridge-journal counters: rollbacks compensated, relocks, resyncs.
+    recovery: dict[str, int] = field(default_factory=dict)
+    #: Completed pool handoffs, in completion order.
+    migrations: list[PoolManifest] = field(default_factory=list)
+    #: Shards frozen because their scheduler worker was lost.
+    degraded_shards: tuple[int, ...] = ()
 
     def digest(self) -> str:
         """One digest over every shard's state digest (bit-identity)."""
@@ -135,6 +180,16 @@ class ShardedSystem:
             self.assignment, self.config.num_shards
         )
         self.registry = TransferRegistry(self.router)
+        self.journal = BridgeJournal()
+        # The engine shares the router's live assignment dict, so a
+        # completed handoff flips routing and migration state together.
+        self.engine = MigrationEngine(
+            self.config.rebalance or ScheduledMigrations(),
+            self.router.assignment,
+            self.config.num_shards,
+        )
+        #: Fork compensations queued for a shard's next online boundary.
+        self._compensations: dict[int, list[RelockEscrow | ResyncResolve]] = {}
         self.specs = self._build_specs()
         self._scheduler: ShardScheduler | None = None
         self._ran = False
@@ -187,7 +242,12 @@ class ShardedSystem:
     @property
     def scheduler(self) -> ShardScheduler:
         if self._scheduler is None:
-            self._scheduler = ShardScheduler(self.specs, jobs=self.config.jobs)
+            self._scheduler = ShardScheduler(
+                self.specs,
+                jobs=self.config.jobs,
+                recovery=self.config.recovery,
+                crashes=self.config.worker_crashes,
+            )
         return self._scheduler
 
     def run(self, num_epochs: int = 3) -> ShardedRunReport:
@@ -211,21 +271,32 @@ class ShardedSystem:
             while True:
                 inject = epoch < num_epochs
                 offline = self.faults.any_offline(epoch)
-                instructions = self.registry.instructions_for(offline)
+                failed = frozenset(scheduler.failed_shards)
+                instructions = self._boundary_instructions(
+                    epoch, offline, failed
+                )
                 records = scheduler.run_epoch(epoch, inject, instructions)
                 self.epoch_records.append(records)
-                self.registry.add_prepares(
-                    prepare
-                    for index in sorted(records)
-                    for prepare in records[index].prepares
-                )
+                # A slot lost *this* epoch took its inbox down with it:
+                # the registry must stop believing those deliveries
+                # landed before conservation is re-checked.
+                for shard in sorted(
+                    frozenset(scheduler.failed_shards) - failed
+                ):
+                    self.registry.revoke_deliveries(
+                        shard, instructions.get(shard, [])
+                    )
+                failed = frozenset(scheduler.failed_shards)
+                self._fold_records(records)
                 baseline = self._check_conservation(records, baseline, epoch)
                 queue_depth = sum(r.queue_depth for r in records.values())
                 epoch += 1
                 if (
                     not inject
                     and queue_depth == 0
-                    and not self.registry.has_pending()
+                    and not self.registry.has_pending(failed)
+                    and self.engine.drained(failed)
+                    and not self._compensations_pending(failed)
                 ):
                     break
                 if epoch > num_epochs + self.config.max_drain_epochs:
@@ -241,6 +312,100 @@ class ShardedSystem:
             raise
         return self._report(
             finals, epochs_run=epoch, injected=num_epochs, baseline=baseline
+        )
+
+    def _boundary_instructions(
+        self,
+        epoch: int,
+        offline: frozenset[int],
+        failed: frozenset[int],
+    ) -> dict[int, ShardInstructions]:
+        """Assemble every shard's boundary inbox, journaling as it goes.
+
+        Delivery order per shard: fork compensations first (a resolve
+        landing in the same inbox may need its relocked escrow), then
+        migration directives, then escrow settlements.
+        """
+        unreachable = frozenset(offline | failed)
+        inboxes: dict[int, ShardInstructions] = {}
+        for shard in sorted(self._compensations):
+            if shard in unreachable:
+                continue  # deferred until the shard is back
+            for comp in self._compensations.pop(shard):
+                if isinstance(comp, RelockEscrow):
+                    self.journal.record_lock(
+                        shard,
+                        comp.transfer.transfer_id,
+                        epoch,
+                        at_boundary=True,
+                    )
+                else:
+                    self.journal.record_resolve(
+                        shard, comp.transfer_id, epoch, comp.settle
+                    )
+                inboxes.setdefault(shard, []).append(comp)
+        directives = self.engine.directives_for(
+            epoch, unreachable, self._queue_pressure(failed)
+        )
+        for shard in sorted(directives):
+            inboxes.setdefault(shard, []).extend(directives[shard])
+        settlements = self.registry.instructions_for(
+            offline, failed=failed, migrating=self.engine.migrating_pools
+        )
+        for shard in sorted(settlements):
+            for item in settlements[shard]:
+                if isinstance(item, SettleCredit):
+                    self.journal.record_credit(
+                        shard, item.transfer.transfer_id, epoch
+                    )
+                elif isinstance(item, SourceResolve):
+                    self.journal.record_resolve(
+                        shard, item.transfer_id, epoch, item.settle
+                    )
+                inboxes.setdefault(shard, []).append(item)
+        return inboxes
+
+    def _queue_pressure(self, failed: frozenset[int]) -> dict[int, int]:
+        """Observed per-shard queue pressure for the rebalance policy."""
+        if not self.epoch_records:
+            return {}
+        previous = self.epoch_records[-1]
+        return {
+            index: record.peak_queue_depth
+            for index, record in previous.items()
+            if index not in failed
+        }
+
+    def _fold_records(
+        self, records: dict[int, ShardEpochRecord]
+    ) -> None:
+        """Registry, journal, and migration bookkeeping for one epoch."""
+        for index in sorted(records):
+            record = records[index]
+            self.registry.add_prepares(record.prepares)
+            for prepare in record.prepares:
+                self.journal.record_lock(
+                    index, prepare.transfer_id, record.epoch
+                )
+        # Replay rollbacks only after every lock is journaled and every
+        # prepare is registered — compensation lookups need both.
+        for index in sorted(records):
+            for rollback in records[index].rollbacks:
+                compensations = self.journal.compensations_for(
+                    rollback, self.registry.all_entries()
+                )
+                if compensations:
+                    self._compensations.setdefault(index, []).extend(
+                        compensations
+                    )
+        self.engine.collect(records)
+
+    def _compensations_pending(self, failed: frozenset[int]) -> bool:
+        """Deliverable compensations left?  (A dead shard's never are.)"""
+        return any(
+            bool(comps)
+            for shard, comps in self._compensations.items()
+            if shard not in failed
         )
 
     def _check_conservation(
@@ -297,6 +462,10 @@ class ShardedSystem:
             conservation_ok=conserved,
             supply0=supply0,
             supply1=supply1,
-            assignment=dict(self.assignment),
+            assignment=dict(self.router.assignment),
             per_shard=finals,
+            abort_codes=self.registry.abort_codes(),
+            recovery=self.journal.counts(),
+            migrations=list(self.engine.history),
+            degraded_shards=tuple(sorted(self.scheduler.failed_shards)),
         )

@@ -38,6 +38,7 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
         "system_epoch",
         "pbft_round",
         "sharded_epoch",
+        "migration_epoch",
     }
     assert set(report["scenarios"]) == expected
     for name, result in report["scenarios"].items():
@@ -45,6 +46,7 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
         assert result["seconds_per_op"] > 0, name
     # sharded_epoch is new in PR 5 and carries no seed-commit baseline;
     # its scaling trajectory lives in the shard_scaling block instead.
+    # migration_epoch (PR 6) baselines against its own introduction tree.
     assert set(report["seed_baseline_ops_per_sec"]) == expected - {
         "sharded_epoch"
     }

@@ -86,8 +86,15 @@ def test_baseline_cli(tmp_path, monkeypatch, capsys):
 
 
 #: Extra scenarios whose fixtures ride the nightly golden grid alongside
-#: the paper set (PR 5: the shard engine's regression net).
-EXTRA_GOLDEN = {"shard_scaling", "hot_shard", "cross_shard_ratio"}
+#: the paper set (PR 5: the shard engine's regression net; PR 6: the
+#: recovery engine's — forks, migrations).
+EXTRA_GOLDEN = {
+    "shard_scaling",
+    "hot_shard",
+    "cross_shard_ratio",
+    "fork_recovery",
+    "shard_rebalance",
+}
 
 
 def test_committed_fixtures_cover_the_paper_set():

@@ -13,20 +13,34 @@ escrow record terminal.
 
 Cases are derived deterministically from their index (the fault-suite
 convention), so a failing case index pinpoints its configuration.
+Cases 0–23 are the original (pre-recovery) grid and must stay
+byte-identical; cases 24–59 exercise the recovery layer — every
+combination of per-shard mainchain ``Rollback`` forks, scheduled pool
+migrations, and offline windows, interleaved with the cross-shard
+traffic of the original grid.
 """
 
 import pytest
 
 from repro.core.system import AmmBoostConfig
-from repro.faults import FaultPlan, ShardFault, SyncWithhold, ViewChangeBurst
+from repro.faults import (
+    FaultPlan,
+    Rollback,
+    ShardFault,
+    SyncWithhold,
+    ViewChangeBurst,
+)
+from repro.recovery.migration import ScheduledMigrations
 from repro.sharding import ShardedConfig, ShardedSystem
 from repro.sharding.escrow import TransferRecord
 
-NUM_CASES = 24
+NUM_CASES = 60
 
 
 def case_config(case: int) -> ShardedConfig:
     """Deterministically vary every protocol knob with the case index."""
+    if case >= 24:
+        return recovery_case_config(case - 24)
     num_shards = (2, 3, 4)[case % 3]
     num_pools = num_shards * (1 + case % 2)
     ratio = (0.0, 0.15, 0.4, 0.8)[case % 4]
@@ -74,6 +88,70 @@ def case_config(case: int) -> ShardedConfig:
         cross_shard_ratio=ratio,
         return_ratio=return_ratio,
         shard_faults=faults,
+    )
+
+
+def recovery_case_config(i: int) -> ShardedConfig:
+    """Cases 24–59: rollback × migration × offline interleavings.
+
+    The three low bits of ``i`` switch each recovery dimension on or
+    off independently (so all eight combinations occur), and the high
+    bits vary seed, traffic shape, and event timing.
+    """
+    rollback_on = bool(i & 1)
+    migration_on = bool(i & 2)
+    offline_on = bool(i & 4)
+    variant = i >> 3  # 0..4 over the 36-case grid
+    num_shards = (2, 3)[i % 2]
+    num_pools = num_shards * 2
+    base = AmmBoostConfig(
+        committee_size=8,
+        miner_population=16,
+        num_users=8,
+        daily_volume=250_000 + 40_000 * (variant % 3),
+        rounds_per_epoch=4 + variant % 2,
+        seed=2000 + i,
+    )
+    faults: list[ShardFault] = []
+    if rollback_on:
+        faults.append(
+            ShardFault(
+                shard=0,
+                plan=FaultPlan(
+                    (
+                        Rollback(
+                            epoch=1 + variant % 2, depth=2 + variant % 3
+                        ),
+                    )
+                ),
+            )
+        )
+    if offline_on:
+        faults.append(
+            ShardFault(
+                shard=num_shards - 1,
+                offline_epochs=frozenset({1 + variant % 2}),
+            )
+        )
+    rebalance = None
+    if migration_on:
+        # Move a pool off its round-robin owner one or two boundaries
+        # in, so the handoff window overlaps the fault events above.
+        pool = variant % num_pools
+        owner = pool % num_shards
+        rebalance = ScheduledMigrations(
+            moves=(
+                (1 + variant % 2, f"pool-{pool}", (owner + 1) % num_shards),
+            )
+        )
+    return ShardedConfig(
+        num_shards=num_shards,
+        num_pools=num_pools,
+        base=base,
+        cross_shard_ratio=(0.15, 0.4, 0.7)[i % 3],
+        return_ratio=(0.0, 0.5)[i % 2],
+        shard_faults=tuple(faults),
+        rebalance=rebalance,
     )
 
 

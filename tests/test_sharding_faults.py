@@ -105,15 +105,23 @@ class TestPerShardFaultPlan:
         with pytest.raises(ConfigurationError, match="message-layer"):
             ShardFault(shard=0, plan=FaultPlan((Crash(start=0.0, node="m0"),)))
 
-    def test_rollback_plan_rejected(self):
-        """A fork would rewind bridge credits other shards already
-        settled (mass-sync replays summaries, not bridge transactions),
-        destroying value; bridge-aware fork recovery is an open ROADMAP
-        item, so the plan is rejected with a typed error up front."""
+    def test_rollback_plan_runs_with_bridge_compensation(self):
+        """Per-shard forks are supported now: the coordinator's bridge
+        journal replays the rewound window and issues compensating
+        entries, so the run completes with conservation intact (run()
+        raises EscrowError at the first violated boundary)."""
         from repro.faults import Rollback
 
-        with pytest.raises(ConfigurationError, match="Rollback"):
-            ShardFault(shard=0, plan=FaultPlan((Rollback(epoch=2, depth=5),)))
+        system, report = run_with_faults(
+            [ShardFault(shard=0, plan=FaultPlan((Rollback(epoch=2, depth=2),)))]
+        )
+        assert report.conservation_ok
+        assert report.per_shard[0].fault_log_len == 1
+        assert report.recovery["rollbacks"] == 1
+        # The fork rewound at least one bridge write that needed repair.
+        assert report.recovery["relocks"] + report.recovery["resyncs"] > 0
+        # The unfaulted shards are untouched.
+        assert report.per_shard[1].fault_log_len == 0
 
 
 class TestShardFaultBook:
