@@ -147,6 +147,36 @@ def measure(op, mode: str = "full") -> dict:
     }
 
 
+def profile(names: list[str]) -> None:
+    """cProfile each scenario and print the top 20 cumulative hotspots.
+
+    Profiling is for *shape*, not speed: the tracer makes every Python
+    call ~5-10x slower, so compare the relative weight of callees, never
+    the absolute times, and confirm any win with a normal timed run.
+    """
+    import cProfile
+    import pstats
+
+    for name in names:
+        op = SCENARIOS[name]()
+        try:
+            op()  # warm caches outside the profile
+            iterations = 1
+            while _time_once(op, iterations) < 0.2 and iterations < 1 << 14:
+                iterations *= 4
+            profiler = cProfile.Profile()
+            profiler.enable()
+            for _ in range(iterations):
+                op()
+            profiler.disable()
+        finally:
+            cleanup = getattr(op, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
+        print(f"\n=== {name} ({iterations} iteration(s)) ===")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def run(names: list[str], mode: str) -> dict:
     results = {}
     for name in names:
@@ -318,12 +348,22 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCENARIOS),
         help="run only the named scenario(s); may repeat",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the selected scenario(s) and print the top 20 "
+        "functions by cumulative time instead of writing a report "
+        "(profiler numbers are ~5-10x slower than timed runs)",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.gate:
         parser.error("--quick and --gate are mutually exclusive")
     mode = "quick" if args.quick else "gate" if args.gate else "full"
 
     names = args.scenario or list(SCENARIOS)
+    if args.profile:
+        profile(names)
+        return 0
     results = run(names, mode)
     shard_scaling = (
         measure_shard_scaling(mode) if args.scenario is None else None

@@ -8,6 +8,7 @@ and flash loans — with the same rounding and fee-accounting behaviour as
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -133,6 +134,317 @@ class PendingSwap:
             liquidity=self.liquidity_after,
             fee_paid=self.fee_paid,
         )
+
+
+class SwapBatch:
+    """Round-level batch quoting: one amortized tick walk for many swaps.
+
+    ``Pool.begin_swap_batch`` snapshots the pool's swap state (price, tick,
+    liquidity, fee growth) and aliases the sorted initialized-tick index
+    once.  Each :meth:`quote` then continues the walk from the batch's
+    *virtual* state, finding neighbouring ticks through an incrementally
+    maintained cursor into that index instead of a fresh bisect per step,
+    and without allocating a ``PendingSwap``.  The caller inspects the
+    quote (``amount0``/``amount1``/``fee_paid``), then either :meth:`accept`
+    — folding it into the virtual state — or simply quotes the next swap,
+    which discards the candidate.  :meth:`commit` applies the whole batch
+    to the pool in one shot.
+
+    Equivalence with the sequential path: for the same transaction order,
+    quote/accept per transaction is arithmetically identical to
+    ``prepare_swap``/``commit`` per transaction —
+
+    * the step loop is the same arithmetic, step for step;
+    * the cursor invariant (down-next ``= index[lo]``, up-next
+      ``= index[lo + 1]``) reproduces ``next_initialized_tick`` exactly,
+      including the boundary cases after a swap stops on a crossed tick,
+      because crossings move the cursor by exactly one slot and mid-range
+      stops leave it untouched;
+    * fee-growth-outside flips of accepted swaps live in an overlay that
+      later quotes read back, which is precisely what sequential commits
+      would have written into the tick records;
+    * the current tick is tracked symbolically (``tick_next - 1`` /
+      ``tick_next`` on crossings) and resolved with a single
+      ``get_tick_at_sqrt_ratio`` at commit when the last accepted swap
+      stopped mid-range — the same value the last sequential commit
+      would have stored, minus the per-swap log-price calls.
+
+    The pool must not be mutated while the batch is open: commit checks
+    the state version recorded at open and refuses to apply otherwise,
+    and mints/burns may not interleave with an open batch.
+    """
+
+    __slots__ = (
+        "pool", "amount0", "amount1", "fee_paid",
+        "_version", "_iticks", "_lo",
+        "_sqrt_price", "_tick", "_tick_known", "_liquidity",
+        "_fg0", "_fg1", "_delta0", "_delta1", "_accepted",
+        "_overlay", "_crossings", "_cand",
+    )
+
+    def __init__(self, pool: "Pool") -> None:
+        pool._require_initialized()
+        self.pool = pool
+        self._version = pool._state_version
+        # Alias, don't copy, the live sorted index: nothing else may touch
+        # the pool while the batch is open (commit enforces it through the
+        # state version), and commit itself only rewrites tick records,
+        # never the index.
+        self._iticks = pool.ticks._sorted
+        self._lo = bisect.bisect_right(self._iticks, pool.tick) - 1
+        self._sqrt_price = pool.sqrt_price_x96
+        self._tick = pool.tick
+        self._tick_known = True
+        self._liquidity = pool.liquidity
+        self._fg0 = pool.fee_growth_global0_x128
+        self._fg1 = pool.fee_growth_global1_x128
+        self._delta0 = 0
+        self._delta1 = 0
+        self._accepted = 0
+        #: tick -> (outside0, outside1): pending fee-growth flips of every
+        #: accepted swap, read back when a later quote re-crosses the tick.
+        self._overlay: dict[int, tuple[int, int]] = {}
+        #: Scratch crossing list for the candidate quote, reused across quotes.
+        self._crossings: list[tuple[int, int, int]] = []
+        self._cand: tuple | None = None
+        #: Outputs of the last quote, pool-perspective signs like SwapResult.
+        self.amount0 = 0
+        self.amount1 = 0
+        self.fee_paid = 0
+
+    @property
+    def accepted_count(self) -> int:
+        return self._accepted
+
+    def trader_amounts(self) -> tuple[int, int]:
+        """(amount_in, amount_out) of the last quote, trader's perspective."""
+        cand = self._cand
+        if cand is None:
+            raise AMMError("no quote outstanding")
+        if cand[0]:  # zero_for_one
+            return self.amount0, -self.amount1
+        return self.amount1, -self.amount0
+
+    def quote(
+        self,
+        zero_for_one: bool,
+        amount_specified: int,
+        sqrt_price_limit_x96: int | None = None,
+    ) -> tuple[int, int]:
+        """Quote one swap against the batch's virtual state.
+
+        Returns ``(amount0, amount1)`` with pool-perspective signs and
+        stores them (plus ``fee_paid``) on the batch.  Raises exactly what
+        ``prepare_swap`` would raise in the same pool state.  The quote is
+        a *candidate*: nothing changes until :meth:`accept`.
+        """
+        self._cand = None
+        if amount_specified == 0:
+            raise AMMError("swap amount must be non-zero")
+        sqrt_price = self._sqrt_price
+        if sqrt_price_limit_x96 is None:
+            sqrt_price_limit_x96 = (
+                tick_math.MIN_SQRT_RATIO + 1
+                if zero_for_one
+                else tick_math.MAX_SQRT_RATIO - 1
+            )
+        if zero_for_one:
+            if not (tick_math.MIN_SQRT_RATIO < sqrt_price_limit_x96 < sqrt_price):
+                raise SlippageError(
+                    f"price limit {sqrt_price_limit_x96} invalid for zero-for-one"
+                )
+        else:
+            if not (sqrt_price < sqrt_price_limit_x96 < tick_math.MAX_SQRT_RATIO):
+                raise SlippageError(
+                    f"price limit {sqrt_price_limit_x96} invalid for one-for-zero"
+                )
+
+        exact_input = amount_specified > 0
+        amount_remaining = amount_specified
+        amount_calculated = 0
+        tick = self._tick
+        tick_known = self._tick_known
+        liquidity = self._liquidity
+        if zero_for_one:
+            fee_growth_global, fee_growth_other = self._fg0, self._fg1
+        else:
+            fee_growth_global, fee_growth_other = self._fg1, self._fg0
+        total_fee = 0
+        crossings = self._crossings
+        crossings.clear()
+
+        # Hot loop, locals-bound like prepare_swap; the per-step
+        # next_initialized_tick bisect is replaced by the cursor.
+        iticks = self._iticks
+        n = len(iticks)
+        lo = self._lo
+        overlay = self._overlay
+        tick_records = self.pool.ticks.ticks
+        sqrt_at = tick_math._sqrt_ratio_at_tick
+        step_values = swap_math.compute_swap_step_values
+        fee_pips = self.pool.config.fee_pips
+        min_tick, max_tick = tick_math.MIN_TICK, tick_math.MAX_TICK
+        add_delta = liquidity_math.add_delta
+
+        while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
+            step_start_price = sqrt_price
+            if zero_for_one:
+                if lo >= 0:
+                    tick_next = iticks[lo]
+                    initialized = True
+                else:
+                    tick_next = min_tick
+                    initialized = False
+            else:
+                hi = lo + 1
+                if hi < n:
+                    tick_next = iticks[hi]
+                    initialized = True
+                else:
+                    tick_next = max_tick
+                    initialized = False
+            sqrt_price_next = sqrt_at(tick_next)
+
+            if zero_for_one:
+                target = (
+                    sqrt_price_next
+                    if sqrt_price_next > sqrt_price_limit_x96
+                    else sqrt_price_limit_x96
+                )
+            else:
+                target = (
+                    sqrt_price_next
+                    if sqrt_price_next < sqrt_price_limit_x96
+                    else sqrt_price_limit_x96
+                )
+
+            if liquidity == 0:
+                sqrt_price = target
+            else:
+                sqrt_price, amount_in, amount_out, fee_amount = step_values(
+                    sqrt_price, target, liquidity, amount_remaining, fee_pips
+                )
+                total_fee += fee_amount
+                if exact_input:
+                    amount_remaining -= amount_in + fee_amount
+                    amount_calculated -= amount_out
+                else:
+                    amount_remaining += amount_out
+                    amount_calculated += amount_in + fee_amount
+                fee_growth_global = (
+                    fee_growth_global + (fee_amount * Q128) // liquidity
+                ) % Q128
+
+            if sqrt_price == sqrt_price_next:
+                if initialized:
+                    info = tick_records.get(tick_next)
+                    if info is not None:
+                        pending = overlay.get(tick_next)
+                        if pending is not None:
+                            outside0, outside1 = pending
+                        else:
+                            outside0 = info.fee_growth_outside0_x128
+                            outside1 = info.fee_growth_outside1_x128
+                        if zero_for_one:
+                            crossings.append((
+                                tick_next,
+                                (fee_growth_global - outside0) % Q128,
+                                (fee_growth_other - outside1) % Q128,
+                            ))
+                            liquidity = add_delta(liquidity, -info.liquidity_net)
+                        else:
+                            crossings.append((
+                                tick_next,
+                                (fee_growth_other - outside0) % Q128,
+                                (fee_growth_global - outside1) % Q128,
+                            ))
+                            liquidity = add_delta(liquidity, info.liquidity_net)
+                    if zero_for_one:
+                        lo -= 1
+                    else:
+                        lo += 1
+                tick = tick_next - 1 if zero_for_one else tick_next
+                tick_known = True
+            elif sqrt_price != step_start_price:
+                # Stopped mid-range: defer the log-price tick resolution;
+                # the cursor already encodes both neighbours.
+                tick_known = False
+
+        if zero_for_one == exact_input:
+            amount0 = amount_specified - amount_remaining
+            amount1 = amount_calculated
+        else:
+            amount0 = amount_calculated
+            amount1 = amount_specified - amount_remaining
+        if amount0 == 0 and amount1 == 0:
+            raise NoLiquidityError(
+                f"no liquidity for "
+                f"{'zero-for-one' if zero_for_one else 'one-for-zero'} swap "
+                f"in pool {self.pool.config.token0}/{self.pool.config.token1}"
+            )
+        self.amount0 = amount0
+        self.amount1 = amount1
+        self.fee_paid = total_fee
+        self._cand = (
+            zero_for_one, sqrt_price, tick, tick_known,
+            liquidity, fee_growth_global, lo,
+        )
+        return amount0, amount1
+
+    def accept(self) -> None:
+        """Fold the outstanding quote into the batch's virtual state."""
+        cand = self._cand
+        if cand is None:
+            raise AMMError("no quote outstanding")
+        zero_for_one, sqrt_price, tick, tick_known, liquidity, fee_growth, lo = cand
+        self._cand = None
+        self._sqrt_price = sqrt_price
+        self._tick = tick
+        self._tick_known = tick_known
+        self._liquidity = liquidity
+        if zero_for_one:
+            self._fg0 = fee_growth
+        else:
+            self._fg1 = fee_growth
+        self._lo = lo
+        overlay = self._overlay
+        for crossed, outside0, outside1 in self._crossings:
+            overlay[crossed] = (outside0, outside1)
+        self._delta0 += self.amount0
+        self._delta1 += self.amount1
+        self._accepted += 1
+
+    def commit(self) -> None:
+        """Apply every accepted swap to the pool in one pass.
+
+        Bumps the state version by the number of accepted swaps — exactly
+        what the same swaps committed one by one would have done, so
+        version-based invariant checks cannot tell the paths apart.
+        """
+        pool = self.pool
+        if pool._state_version != self._version:
+            raise AMMError("pool state changed since batch was opened")
+        self._version = -1  # one-shot: a second commit always fails
+        if self._accepted == 0:
+            return
+        pool._state_version += self._accepted
+        ticks = pool.ticks.ticks
+        for tick, (outside0, outside1) in self._overlay.items():
+            info = ticks.get(tick)
+            if info is not None:
+                info.fee_growth_outside0_x128 = outside0
+                info.fee_growth_outside1_x128 = outside1
+        pool.sqrt_price_x96 = self._sqrt_price
+        pool.tick = (
+            self._tick
+            if self._tick_known
+            else tick_math.get_tick_at_sqrt_ratio(self._sqrt_price)
+        )
+        pool.liquidity = self._liquidity
+        pool.fee_growth_global0_x128 = self._fg0
+        pool.fee_growth_global1_x128 = self._fg1
+        pool.balance0 += self._delta0
+        pool.balance1 += self._delta1
 
 
 class Pool:
@@ -520,6 +832,15 @@ class Pool:
             _pre_tick=self.tick,
             _pre_state_version=self._state_version,
         )
+
+    def begin_swap_batch(self) -> SwapBatch:
+        """Open a round-level batch: many swaps, one amortized tick walk.
+
+        See :class:`SwapBatch`.  The pool must stay untouched until the
+        batch's ``commit`` (enforced by the state version); mints, burns
+        and individual swaps may resume afterwards.
+        """
+        return SwapBatch(self)
 
     # -- flash loans -----------------------------------------------------------------
 

@@ -7,15 +7,19 @@ owner provided, and the total amount of fees accrued so far" (Section II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.amm.fixed_point import Q128, mul_div
 from repro.errors import LiquidityError, PositionError
 
 
-@dataclass(frozen=True, slots=True)
-class PositionKey:
-    """Identifies a position by owner and price range."""
+class PositionKey(NamedTuple):
+    """Identifies a position by owner and price range.
+
+    A ``NamedTuple`` rather than a frozen dataclass: position lookups are
+    on the executor's hot path and tuple hashing/equality run in C.
+    """
 
     owner: str
     tick_lower: int
@@ -46,18 +50,24 @@ class PositionInfo:
             raise LiquidityError(
                 f"position liquidity underflow: {self.liquidity} + {liquidity_delta}"
             )
-        owed0 = mul_div(
-            (fee_growth_inside0_x128 - self.fee_growth_inside0_last_x128) % Q128,
-            self.liquidity,
-            Q128,
-        )
-        owed1 = mul_div(
-            (fee_growth_inside1_x128 - self.fee_growth_inside1_last_x128) % Q128,
-            self.liquidity,
-            Q128,
-        )
+        # The position itself is the fee-growth snapshot: when the inside
+        # growth has not moved since the last touch (the common mint→burn
+        # round trip with no intervening swaps) — or the position held no
+        # liquidity — the owed amounts are exactly zero and the two
+        # 128-bit mul_divs can be skipped.
+        liquidity = self.liquidity
+        if liquidity and fee_growth_inside0_x128 != self.fee_growth_inside0_last_x128:
+            self.tokens_owed0 += mul_div(
+                (fee_growth_inside0_x128 - self.fee_growth_inside0_last_x128) % Q128,
+                liquidity,
+                Q128,
+            )
+        if liquidity and fee_growth_inside1_x128 != self.fee_growth_inside1_last_x128:
+            self.tokens_owed1 += mul_div(
+                (fee_growth_inside1_x128 - self.fee_growth_inside1_last_x128) % Q128,
+                liquidity,
+                Q128,
+            )
         self.liquidity = new_liquidity
         self.fee_growth_inside0_last_x128 = fee_growth_inside0_x128
         self.fee_growth_inside1_last_x128 = fee_growth_inside1_x128
-        self.tokens_owed0 += owed0
-        self.tokens_owed1 += owed1

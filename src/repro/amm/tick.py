@@ -32,6 +32,12 @@ class TickInfo:
     initialized: bool = False
 
 
+#: Shared all-zeros record used on read paths for absent ticks.  Never
+#: mutated and never stored: an uninitialized tick's fee-growth-outside
+#: values are zero by definition, so readers can alias one instance.
+_ZERO_TICK = TickInfo()
+
+
 class TickTable:
     """All initialized ticks of a pool, ordered for range queries."""
 
@@ -45,6 +51,8 @@ class TickTable:
         #: index mutates.  Swaps that stay within one tick range hit this
         #: repeatedly with the same key.
         self._neighbor_cache: dict[tuple[int, bool], tuple[int | None, bool]] = {}
+        #: Cleared records parked by :meth:`clear` for :meth:`get` to reuse.
+        self._spare: list[TickInfo] = []
 
     def __contains__(self, tick: int) -> bool:
         return tick in self.ticks
@@ -57,7 +65,15 @@ class TickTable:
         """
         info = self.ticks.get(tick)
         if info is None:
-            info = TickInfo()
+            if self._spare:
+                info = self._spare.pop()
+                info.liquidity_gross = 0
+                info.liquidity_net = 0
+                info.fee_growth_outside0_x128 = 0
+                info.fee_growth_outside1_x128 = 0
+                info.initialized = False
+            else:
+                info = TickInfo()
             self.ticks[tick] = info
         return info
 
@@ -116,9 +132,21 @@ class TickTable:
         return flipped
 
     def clear(self, tick: int) -> None:
-        """Drop a fully-emptied tick's record (Tick.clear)."""
-        self.ticks.pop(tick, None)
-        self._remove(tick)
+        """Drop a fully-emptied tick's record (Tick.clear).
+
+        The record is parked for reuse: LP churn that burns a range and
+        re-mints it (or a neighbouring one) next would otherwise allocate
+        two fresh records per round trip.  A tick that ``update`` already
+        flipped out of the index (``liquidity_gross == 0``) needs no
+        second ``_remove`` bisect.
+        """
+        info = self.ticks.pop(tick, None)
+        if info is None:
+            return
+        if info.liquidity_gross != 0:
+            self._remove(tick)
+        if len(self._spare) < 16:
+            self._spare.append(info)
 
     def cross(
         self,
@@ -191,8 +219,9 @@ class TickTable:
         Arithmetic is modulo 2^256 in Solidity; Q128 wrap-around here keeps
         the same relative-difference semantics.
         """
-        lower = self.peek(tick_lower)
-        upper = self.peek(tick_upper)
+        ticks = self.ticks
+        lower = ticks.get(tick_lower) or _ZERO_TICK
+        upper = ticks.get(tick_upper) or _ZERO_TICK
         if tick_current >= tick_lower:
             below0 = lower.fee_growth_outside0_x128
             below1 = lower.fee_growth_outside1_x128

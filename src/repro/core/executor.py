@@ -53,6 +53,13 @@ class SidechainExecutor:
         self.current_round = 0
         self.processed_count = 0
         self.rejected_count = 0
+        #: Struct-of-arrays scratch for a round's accepted swaps: parallel
+        #: arrays instead of per-tx intermediate objects on the hot path.
+        #: Materialised into ``tx.effects`` dicts when the batch commits.
+        self._round_tx: list[SwapTx] = []
+        self._round_delta0: list[int] = []
+        self._round_delta1: list[int] = []
+        self._round_fee: list[int] = []
 
     # -- epoch lifecycle -----------------------------------------------------------
 
@@ -97,9 +104,115 @@ class SidechainExecutor:
         """Execute one round's batch of transactions; returns those accepted.
 
         Rejected transactions carry ``reject_reason`` and leave state
-        untouched, exactly as :meth:`process` does one at a time.
+        untouched, exactly as :meth:`process` does one at a time.  Runs of
+        consecutive swaps execute through the pool's batch walker — one
+        amortized tick walk for the whole run — with acceptance decisions,
+        reject reasons and effects identical to the sequential path.
         """
-        return [tx for tx in txs if self.process(tx, current_round=current_round)]
+        accepted: list[SidechainTx] = []
+        i, n = 0, len(txs)
+        while i < n:
+            tx = txs[i]
+            # Exact-type check: SwapTx *subclasses* (cross-shard legs) carry
+            # extra semantics in overridden ``process`` methods and must keep
+            # the virtual per-tx dispatch.
+            if type(tx) is SwapTx:
+                j = i + 1
+                while j < n and type(txs[j]) is SwapTx:
+                    j += 1
+                self._process_swap_run(txs[i:j], accepted, current_round)
+                i = j
+            else:
+                if self.process(tx, current_round=current_round):
+                    accepted.append(tx)
+                i += 1
+        return accepted
+
+    def _process_swap_run(
+        self,
+        swaps: list[SwapTx],
+        accepted: list[SidechainTx],
+        current_round: int,
+    ) -> None:
+        """Batch-execute a run of consecutive swaps, preserving order.
+
+        Validation order per swap (deadline, amount, slippage, deposit
+        coverage) and every reject-reason string match :meth:`_process_swap`
+        exactly — the walker quotes each swap against the batch's virtual
+        state with the same arithmetic ``prepare_swap`` would use.
+        Accepted outcomes accumulate in the per-round parallel arrays and
+        materialise into ``tx.effects`` dicts once the batch commits.
+        """
+        self.current_round = current_round
+        pool = self.pool
+        if len(swaps) == 1 or not pool.initialized:
+            # A lone swap gains nothing from a batch, and an uninitialized
+            # pool must reject per transaction with prepare_swap's error.
+            for tx in swaps:
+                if self.process(tx, current_round=current_round):
+                    accepted.append(tx)
+            return
+        batch = pool.begin_swap_batch()
+        rec_tx = self._round_tx
+        rec_delta0 = self._round_delta0
+        rec_delta1 = self._round_delta1
+        rec_fee = self._round_fee
+        rec_tx.clear()
+        rec_delta0.clear()
+        rec_delta1.clear()
+        rec_fee.clear()
+        deposit_of = self.deposit_of
+        for tx in swaps:
+            try:
+                if tx.deadline is not None and current_round > tx.deadline:
+                    raise AMMError(f"deadline round {tx.deadline} passed")
+                if tx.amount <= 0:
+                    raise AMMError("swap amount must be positive")
+                amount_specified = tx.amount if tx.exact_input else -tx.amount
+                batch.quote(
+                    tx.zero_for_one, amount_specified, tx.sqrt_price_limit_x96
+                )
+                amount_in, amount_out = batch.trader_amounts()
+                if tx.exact_input:
+                    if tx.amount_limit is not None and amount_out < tx.amount_limit:
+                        raise AMMError(
+                            f"slippage: output {amount_out} < minimum "
+                            f"{tx.amount_limit}"
+                        )
+                else:
+                    if tx.amount_limit is not None and amount_in > tx.amount_limit:
+                        raise AMMError(
+                            f"slippage: input {amount_in} > maximum "
+                            f"{tx.amount_limit}"
+                        )
+                balance = deposit_of(tx.user)
+                in_index = 0 if tx.zero_for_one else 1
+                if balance[in_index] < amount_in:
+                    raise DepositError(
+                        f"deposit {balance[in_index]} cannot cover swap input "
+                        f"{amount_in}"
+                    )
+            except (AMMError, DepositError, PositionError) as exc:
+                tx.reject_reason = str(exc)
+                self.rejected_count += 1
+                continue
+            batch.accept()
+            delta0, delta1 = -batch.amount0, -batch.amount1
+            balance[0] += delta0
+            balance[1] += delta1
+            rec_tx.append(tx)
+            rec_delta0.append(delta0)
+            rec_delta1.append(delta1)
+            rec_fee.append(batch.fee_paid)
+            self.processed_count += 1
+        batch.commit()
+        for idx, tx in enumerate(rec_tx):
+            tx.effects = {
+                "delta0": rec_delta0[idx],
+                "delta1": rec_delta1[idx],
+                "fee": rec_fee[idx],
+            }
+            accepted.append(tx)
 
     # -- swaps -----------------------------------------------------------------------
 

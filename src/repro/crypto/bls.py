@@ -76,6 +76,40 @@ def bls_aggregate(signatures: list[BlsSignature]) -> BlsSignature:
     return BlsSignature(point=acc)
 
 
+def bls_aggregate_vks(vks: list[G2Element]) -> G2Element:
+    """Aggregate verification keys by point addition in G2."""
+    if not vks:
+        raise SignatureError("cannot aggregate an empty key list")
+    acc = vks[0]
+    for vk in vks[1:]:
+        acc = acc + vk
+    return acc
+
+
+def bls_aggregate_verify(
+    vks: list[G2Element], signatures: list[BlsSignature], *message
+) -> bool:
+    """Batched same-message verification with a single pairing check.
+
+    Checks ``e(Σ sigma_i, g2) == e(H(m), Σ vk_i)`` — two pairings total
+    instead of ``2n``, the pairing-count-minimizing check a BN256 verifier
+    runs on an aggregated quorum certificate.  Sound against rogue-key
+    splitting only when every ``vk`` comes with a proof of possession; in
+    this simulation all vote keys derive deterministically from registered
+    identity keys, which plays that role.
+
+    A valid batch always passes; a batch with invalid members fails unless
+    the errors cancel in the sum (as with any aggregate-BLS check).  A
+    False result says nothing about which signer is at fault — fall back
+    to per-signature :func:`bls_verify` to attribute the failure.
+    """
+    if len(vks) != len(signatures):
+        raise SignatureError(
+            f"aggregate verify got {len(vks)} keys for {len(signatures)} signatures"
+        )
+    return bls_verify(bls_aggregate_vks(vks), bls_aggregate(signatures), *message)
+
+
 class ThresholdBls:
     """Threshold BLS bound to a set of Shamir shares of a signing key.
 

@@ -8,7 +8,7 @@ derived from the key and message), over the RFC 3526 1536-bit group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import hash_to_scalar, keccak256
@@ -35,11 +35,17 @@ class KeyPair:
     sk: int
     pk: int
     group: SchnorrGroup
+    #: Lazily-computed address; the keypair is immutable in practice, so the
+    #: keccak over ``pk`` only ever needs to run once.
+    _address: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def address(self) -> str:
         """A short hex identity derived from the public key."""
-        return "0x" + keccak256(self.pk).hex()[:40]
+        address = self._address
+        if address is None:
+            address = self._address = "0x" + keccak256(self.pk).hex()[:40]
+        return address
 
     def sign(self, *message) -> SchnorrSignature:
         """Sign ``message`` (any hashable parts) with a deterministic nonce."""

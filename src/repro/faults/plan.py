@@ -130,13 +130,16 @@ class Corrupt:
     """Corrupt ``node`` for the whole instance (slowly-adaptive adversary).
 
     The switches mirror :class:`~repro.sidechain.pbft.NodeBehavior` — the
-    three concrete behaviours of the paper's interruption analysis.
+    concrete behaviours of the paper's interruption analysis, plus
+    ``corrupt_votes`` (invalid vote signatures), which exercises the
+    aggregate-verification fallback and its per-node attribution.
     """
 
     node: str
     silent_as_leader: bool = False
     propose_invalid: bool = False
     withhold_votes: bool = False
+    corrupt_votes: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -268,6 +271,8 @@ class FaultPlan:
                 or bool(existing and existing.propose_invalid),
                 withhold_votes=event.withhold_votes
                 or bool(existing and existing.withhold_votes),
+                corrupt_votes=event.corrupt_votes
+                or bool(existing and existing.corrupt_votes),
             )
         return behaviors
 

@@ -20,6 +20,7 @@ def corrupt_members(
     silent_as_leader: bool = False,
     propose_invalid: bool = False,
     withhold_votes: bool = False,
+    corrupt_votes: bool = False,
 ) -> dict[str, NodeBehavior]:
     """Corrupt the first ``count`` members with the given behaviour.
 
@@ -33,6 +34,7 @@ def corrupt_members(
             silent_as_leader=silent_as_leader,
             propose_invalid=propose_invalid,
             withhold_votes=withhold_votes,
+            corrupt_votes=corrupt_votes,
         )
         for member in members[:count]
     }

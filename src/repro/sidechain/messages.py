@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
-from repro.crypto.keys import SchnorrSignature
+from repro.crypto.bls import BlsSignature
 
 
 class PbftPhase(enum.Enum):
@@ -20,9 +20,12 @@ class PbftPhase(enum.Enum):
 class PbftMessage:
     """One consensus message.
 
-    ``digest`` commits to the proposal; prepare/commit votes are signed so
-    a quorum of them forms the quorum certificate the paper's TSQC builds
-    on.  ``proposal`` is only populated in pre-prepares.
+    ``digest`` commits to the proposal; prepare/commit votes are
+    BLS-signed so a quorum of them aggregates into the quorum certificate
+    the paper's TSQC builds on.  ``proposal`` is only populated in
+    pre-prepares.  A BLS signature encodes to 64 bytes — the same as the
+    Schnorr scheme it replaced, so ``BASE_SIZE`` and all byte accounting
+    are unchanged.
     """
 
     phase: PbftPhase
@@ -30,7 +33,7 @@ class PbftMessage:
     sender: str
     digest: bytes = b""
     proposal: Any = None
-    signature: SchnorrSignature | None = None
+    signature: BlsSignature | None = None
 
     #: Approximate wire size (bytes) for network accounting: headers, the
     #: digest and a signature.

@@ -7,8 +7,18 @@ commits decides.  A leader that proposes an invalid block, or stays
 silent past the timeout, is replaced by view change (Section IV-C,
 handling interruptions).
 
-Every vote is Schnorr-signed and signatures are verified on receipt, so
-the decided block is backed by a verifiable quorum certificate.
+Every message is BLS-signed with the member's vote key (derived
+deterministically from its registered identity key), so the decided block
+is backed by a verifiable quorum certificate.  Vote verification is
+*deferred and aggregated*: instead of two pairings per vote on receipt, a
+phase's votes are checked the moment a quorum forms with one aggregate
+pairing check ``e(Σ sigma_i, g2) == e(H(m), Σ vk_i)``.  Only when that
+batched check fails does the per-vote fallback run, which pinpoints the
+corrupt signer(s), drops their votes and records the attribution in
+``vote_faults`` — fault-injected signature corruption is still blamed on
+the right node.  Verification is instantaneous on the simulated clock, so
+deferral is unobservable in protocol time: a quorum still acts at the
+arrival of its q-th valid vote.
 
 Fault injection: pass a :class:`~repro.faults.driver.FaultDriver` as
 ``faults`` (and install the same driver on the network).  A crashed
@@ -24,14 +34,44 @@ passed ``behaviors``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable
 
+from repro.crypto.bls import (
+    BlsKeyPair,
+    bls_aggregate_verify,
+    bls_keygen,
+    bls_sign,
+    bls_verify,
+)
 from repro.crypto.hashing import keccak256
-from repro.crypto.keys import KeyPair, verify_signature
+from repro.crypto.keys import KeyPair
 from repro.errors import ConsensusError
 from repro.sidechain.messages import PbftMessage, PbftPhase
 from repro.simulation.events import EventScheduler
 from repro.simulation.network import Network
+
+
+@lru_cache(maxsize=4096)
+def _vote_keypair(member: str, identity_sk: int) -> BlsKeyPair:
+    """The member's long-term BLS vote key, derived from its identity key.
+
+    In a deployment each member registers the vote vk alongside its
+    identity key; deriving both from the same secret models that binding
+    (and doubles as the proof of possession the aggregate check assumes).
+    Cached process-wide: one consensus instance is created per slot, but
+    committees persist across many slots.
+    """
+    return bls_keygen(("pbft-vote", member, identity_sk))
+
+
+#: Per-phase domain-separation tag for vote messages.
+_PHASE_TAG = {
+    PbftPhase.PRE_PREPARE: b"pre-prepare",
+    PbftPhase.PREPARE: b"prepare",
+    PbftPhase.COMMIT: b"commit",
+    PbftPhase.VIEW_CHANGE: b"view-change",
+}
 
 
 @dataclass
@@ -122,8 +162,24 @@ class PbftRound:
         self.outcome = ConsensusOutcome(decided=False)
         self._timeout_events: dict[str, Any] = {}
         self._closed = False
+        #: (sender, view, digest, sig point) -> bool memo for pre-prepares,
+        #: which are still verified eagerly (they gate proposal handling).
         self._verified: dict[tuple, bool] = {}
         self._vc_messages: dict[tuple[str, int], PbftMessage] = {}
+        #: Each member's BLS vote keypair (public vks + simulated sks).
+        self._vote_keys: dict[str, BlsKeyPair] = {
+            m: _vote_keypair(m, kp.sk) for m, kp in keypairs.items()
+        }
+        #: (phase, view, digest, sender) -> received vote signature; votes
+        #: are stashed unverified and resolved in bulk at quorum time.
+        self._vote_sigs: dict[tuple, Any] = {}
+        #: (phase, view, digest, sender) -> verification verdict, shared by
+        #: every receiving node (a broadcast delivers one signed message).
+        self._vote_valid: dict[tuple, bool] = {}
+        #: (sender, phase value, view) triples for every vote whose
+        #: signature failed the fallback check — the attribution record
+        #: fault-engine corruption events are matched against.
+        self.vote_faults: list[tuple[str, str, int]] = []
         for member in config.members:
             self.network.register(
                 self._endpoint(member),
@@ -201,7 +257,9 @@ class PbftRound:
             sender=leader,
             digest=digest,
             proposal=proposal,
-            signature=self.keypairs[leader].sign(b"pre-prepare", view, digest),
+            signature=bls_sign(
+                self._vote_keys[leader].sk, b"pre-prepare", view, digest
+            ),
         )
         self._broadcast(leader, msg)
         # The leader treats its own proposal as received.
@@ -213,11 +271,24 @@ class PbftRound:
         if self._down(member):
             return  # belt and braces: the network already drops these
         msg: PbftMessage = raw.payload
-        if not self._verify(msg):
-            return
         if msg.phase is PbftPhase.PRE_PREPARE:
+            if not self._verify_pre_prepare(msg):
+                return
             self._handle_pre_prepare(member, msg)
-        elif msg.phase is PbftPhase.PREPARE:
+            return
+        # Vote phases: stash the signature and defer verification to the
+        # moment a quorum forms (see _count_valid).  A vote already
+        # refuted by the fallback is dropped on receipt, exactly as the
+        # old verify-on-receipt path would have.
+        if msg.signature is None or msg.sender not in self._vote_keys:
+            return
+        key = (msg.phase, msg.view, msg.digest, msg.sender)
+        verdict = self._vote_valid.get(key)
+        if verdict is False:
+            return
+        if verdict is None and key not in self._vote_sigs:
+            self._vote_sigs[key] = msg.signature
+        if msg.phase is PbftPhase.PREPARE:
             self._handle_prepare(member, msg)
         elif msg.phase is PbftPhase.COMMIT:
             self._handle_commit(member, msg)
@@ -246,7 +317,7 @@ class PbftRound:
             view=msg.view,
             sender=member,
             digest=msg.digest,
-            signature=self.keypairs[member].sign(b"prepare", msg.view, msg.digest),
+            signature=self._vote_sign(member, PbftPhase.PREPARE, msg.view, msg.digest),
         )
         self._broadcast(member, vote)
         self._record_prepare(member, vote)
@@ -261,7 +332,10 @@ class PbftRound:
         key = (msg.view, msg.digest)
         voters = state.prepares.setdefault(key, set())
         voters.add(msg.sender)
-        if len(voters) >= self.config.quorum and msg.view not in state.sent_commit:
+        quorum = self._count_valid(
+            member, PbftPhase.PREPARE, msg.view, msg.digest, voters
+        )
+        if quorum >= self.config.quorum and msg.view not in state.sent_commit:
             state.sent_commit.add(msg.view)
             behavior = self.behaviors.get(member)
             if behavior is not None and behavior.withhold_votes:
@@ -271,7 +345,9 @@ class PbftRound:
                 view=msg.view,
                 sender=member,
                 digest=msg.digest,
-                signature=self.keypairs[member].sign(b"commit", msg.view, msg.digest),
+                signature=self._vote_sign(
+                    member, PbftPhase.COMMIT, msg.view, msg.digest
+                ),
             )
             self._broadcast(member, commit)
             self._record_commit(member, commit)
@@ -286,7 +362,10 @@ class PbftRound:
         key = (msg.view, msg.digest)
         voters = state.commits.setdefault(key, set())
         voters.add(msg.sender)
-        if len(voters) >= self.config.quorum:
+        quorum = self._count_valid(
+            member, PbftPhase.COMMIT, msg.view, msg.digest, voters
+        )
+        if quorum >= self.config.quorum:
             state.decided = True
             self._cancel_timeout(member)
             proposal = state.proposal_by_view.get(msg.view)
@@ -311,7 +390,10 @@ class PbftRound:
         voters.add(msg.sender)
         # Echo once: seeing f+1 view-change votes means at least one honest
         # node timed out, so join the view change.
-        if len(voters) >= self.config.quorum:
+        quorum = self._count_valid(
+            member, PbftPhase.VIEW_CHANGE, msg.view, b"", voters
+        )
+        if quorum >= self.config.quorum:
             self._enter_view(member, msg.view)
 
     def _send_view_change(self, member: str, new_view: int) -> None:
@@ -330,7 +412,10 @@ class PbftRound:
         self._broadcast(member, self._view_change_msg(member, new_view))
         voters = state.view_change_votes.setdefault(new_view, set())
         voters.add(member)
-        if len(voters) >= self.config.quorum:
+        quorum = self._count_valid(
+            member, PbftPhase.VIEW_CHANGE, new_view, b"", voters
+        )
+        if quorum >= self.config.quorum:
             self._enter_view(member, new_view)
 
     def _view_change_msg(self, member: str, new_view: int) -> PbftMessage:
@@ -343,7 +428,9 @@ class PbftRound:
                 view=new_view,
                 sender=member,
                 digest=b"",
-                signature=self.keypairs[member].sign(b"view-change", new_view),
+                signature=self._vote_sign(
+                    member, PbftPhase.VIEW_CHANGE, new_view, b""
+                ),
             )
             self._vc_messages[(member, new_view)] = msg
         return msg
@@ -442,35 +529,93 @@ class PbftRound:
             size_bytes=msg.size_bytes,
         )
 
-    def _verify(self, msg: PbftMessage) -> bool:
-        keypair = self.keypairs.get(msg.sender)
-        if keypair is None or msg.signature is None:
+    def _vote_sign(self, member: str, phase: PbftPhase, view: int, digest: bytes):
+        """Sign a vote with the member's BLS vote key.
+
+        A ``corrupt_votes`` byzantine member emits a deterministic garbage
+        signature (a signature on a domain-separated wrong message) — it
+        still *sends* votes, but no honest quorum check can count them.
+        """
+        sk = self._vote_keys[member].sk
+        tag = _PHASE_TAG[phase]
+        behavior = self.behaviors.get(member)
+        if behavior is not None and behavior.corrupt_votes:
+            return bls_sign(sk, b"corrupted-vote", tag, view, digest)
+        if phase is PbftPhase.VIEW_CHANGE:
+            return bls_sign(sk, tag, view)
+        return bls_sign(sk, tag, view, digest)
+
+    def _verify_pre_prepare(self, msg: PbftMessage) -> bool:
+        vote_key = self._vote_keys.get(msg.sender)
+        if vote_key is None or msg.signature is None:
             return False
         # A broadcast (or a fault-mode retransmission) delivers the same
         # signed message to every member; verify each distinct one once.
-        key = (msg.sender, msg.phase, msg.view, msg.digest,
-               msg.signature.s, msg.signature.e)
+        key = (msg.sender, msg.view, msg.digest, msg.signature.point)
         cached = self._verified.get(key)
-        if cached is not None:
-            return cached
-        result = self._verify_uncached(keypair, msg)
-        self._verified[key] = result
-        return result
+        if cached is None:
+            cached = bls_verify(
+                vote_key.vk, msg.signature, b"pre-prepare", msg.view, msg.digest
+            )
+            self._verified[key] = cached
+        return cached
 
-    def _verify_uncached(self, keypair: KeyPair, msg: PbftMessage) -> bool:
-        if msg.phase is PbftPhase.PRE_PREPARE:
-            parts = (b"pre-prepare", msg.view, msg.digest)
-        elif msg.phase is PbftPhase.PREPARE:
-            parts = (b"prepare", msg.view, msg.digest)
-        elif msg.phase is PbftPhase.COMMIT:
-            parts = (b"commit", msg.view, msg.digest)
-        else:
-            parts = (b"view-change", msg.view)
-        # Verify against the signer's own group (identical for the default
-        # group; lets fast-group keypairs drive large property suites).
-        return verify_signature(
-            keypair.pk, msg.signature, *parts, group=keypair.group
+    def _count_valid(
+        self,
+        member: str,
+        phase: PbftPhase,
+        view: int,
+        digest: bytes,
+        voters: set[str],
+    ) -> int:
+        """Valid-vote count for a quorum check, resolving signatures lazily.
+
+        Below quorum size nothing is verified at all — the whole batch
+        resolves with one aggregate pairing check the first time any node's
+        tally could form a quorum (the result is shared by every node, so
+        each (view, phase, digest) batch is verified once per round).  Only
+        when the aggregate check fails does the per-vote fallback run; the
+        culprits are logged in ``vote_faults`` and pruned from the tally.
+        ``member``'s own vote is exempt — a node does not verify itself,
+        matching the eager scheme where self-votes were recorded directly.
+        """
+        if len(voters) < self.config.quorum:
+            return 0
+        valid = self._vote_valid
+        unknown = [
+            v
+            for v in voters
+            if v != member and valid.get((phase, view, digest, v)) is None
+        ]
+        if unknown:
+            self._resolve_votes(phase, view, digest, unknown)
+            refuted = [
+                v for v in unknown if not valid[(phase, view, digest, v)]
+            ]
+            for v in refuted:
+                voters.discard(v)
+        return len(voters)
+
+    def _resolve_votes(
+        self, phase: PbftPhase, view: int, digest: bytes, senders: list[str]
+    ) -> None:
+        """Verify a batch of stashed votes: one aggregate check, then fallback."""
+        tag = _PHASE_TAG[phase]
+        message = (
+            (tag, view) if phase is PbftPhase.VIEW_CHANGE else (tag, view, digest)
         )
+        sigs = [self._vote_sigs[(phase, view, digest, v)] for v in senders]
+        vks = [self._vote_keys[v].vk for v in senders]
+        valid = self._vote_valid
+        if bls_aggregate_verify(vks, sigs, *message):
+            for v in senders:
+                valid[(phase, view, digest, v)] = True
+            return
+        for v, vk, sig in zip(senders, vks, sigs):
+            ok = bls_verify(vk, sig, *message)
+            valid[(phase, view, digest, v)] = ok
+            if not ok:
+                self.vote_faults.append((v, phase.value, view))
 
     @staticmethod
     def _digest(proposal: Any) -> bytes:
@@ -483,6 +628,9 @@ class NodeBehavior:
     ``silent_as_leader`` — never propose when holding the leader slot.
     ``propose_invalid`` — corrupt the proposal before pre-preparing it.
     ``withhold_votes`` — receive but never vote (crash-like).
+    ``corrupt_votes`` — vote with invalid signatures: the votes travel the
+    network but fail verification, which exercises the aggregate-verify
+    fallback and its per-node attribution.
     """
 
     def __init__(
@@ -490,10 +638,12 @@ class NodeBehavior:
         silent_as_leader: bool = False,
         propose_invalid: bool = False,
         withhold_votes: bool = False,
+        corrupt_votes: bool = False,
     ) -> None:
         self.silent_as_leader = silent_as_leader
         self.propose_invalid = propose_invalid
         self.withhold_votes = withhold_votes
+        self.corrupt_votes = corrupt_votes
 
     @staticmethod
     def corrupt(proposal: Any) -> Any:

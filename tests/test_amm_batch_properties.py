@@ -1,0 +1,195 @@
+"""Property suite: batch quoting is equivalent to sequential quoting.
+
+The batch walker (``Pool.begin_swap_batch``) must be *bit-identical* to
+the sequential ``prepare_swap``/``commit`` path for any transaction
+sequence — same amounts, same fees, same errors, same final pool state
+including every tick record's fee-growth-outside values and the state
+version.  These properties drive generated swap mixes (both directions,
+exact input and exact output, price limits, tick-crossing sizes,
+rejections that discard a quote) through both paths on identically
+constructed pools and compare everything observable.
+
+The executor-level property does the same one layer up:
+``SidechainExecutor.process_round`` (batch walker + struct-of-arrays
+records) against per-transaction ``process`` — acceptance decisions,
+reject-reason strings, effects dicts, deposits and pool state all match.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.amm.fixed_point import encode_price_sqrt
+from repro.amm.pool import Pool, PoolConfig
+from repro.core.executor import SidechainExecutor
+from repro.core.transactions import MintTx, SwapTx
+from repro.errors import AMMError
+
+
+def build_pool() -> Pool:
+    """A pool with overlapping ranges so swaps cross initialized ticks."""
+    pool = Pool(PoolConfig(token0="A", token1="B", fee_pips=3000))
+    pool.initialize(encode_price_sqrt(1, 1))
+    pool.mint("lp", -600, 600, 10**18)
+    pool.mint("lp", -120, 120, 5 * 10**17)
+    pool.mint("lp", -60, 60, 10**17)
+    pool.mint("lp", 60, 240, 3 * 10**17)
+    return pool
+
+
+def tick_fee_state(pool: Pool) -> dict:
+    return {
+        tick: (
+            info.liquidity_gross,
+            info.liquidity_net,
+            info.fee_growth_outside0_x128,
+            info.fee_growth_outside1_x128,
+        )
+        for tick, info in pool.ticks.ticks.items()
+    }
+
+
+SWAP = st.tuples(
+    st.booleans(),  # zero_for_one
+    st.booleans(),  # exact_input
+    st.integers(min_value=10**13, max_value=4 * 10**17),
+    # 0/2: plain accept; 1: price-limited accept; 3: quote then discard.
+    st.integers(min_value=0, max_value=3),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(swaps=st.lists(SWAP, min_size=1, max_size=16))
+def test_batch_quoting_equals_sequential(swaps):
+    seq = build_pool()
+    bat = build_pool()
+    batch = bat.begin_swap_batch()
+    for zero_for_one, exact_input, amount, mode in swaps:
+        amount_specified = amount if exact_input else -amount
+        limit = None
+        if mode == 1:
+            # A tight limit in the swap direction: both paths must stop at
+            # the same price (and may reject with NoLiquidityError when
+            # the limit allows no movement at all).
+            price = seq.sqrt_price_x96
+            limit = price - price // 500 if zero_for_one else price + price // 500
+        try:
+            pending = seq.prepare_swap(zero_for_one, amount_specified, limit)
+            seq_outcome = ("ok", pending.amount0, pending.amount1, pending.fee_paid)
+        except AMMError as exc:  # SlippageError / NoLiquidityError included
+            pending = None
+            seq_outcome = ("err", type(exc).__name__, str(exc))
+        try:
+            amount0, amount1 = batch.quote(zero_for_one, amount_specified, limit)
+            bat_outcome = ("ok", amount0, amount1, batch.fee_paid)
+        except AMMError as exc:
+            bat_outcome = ("err", type(exc).__name__, str(exc))
+        assert seq_outcome == bat_outcome
+        if pending is not None and mode != 3:
+            pending.commit()
+            batch.accept()
+        # mode == 3 (or an error): the quote is discarded on both paths.
+    batch.commit()
+    assert seq.snapshot() == bat.snapshot()
+    assert seq._state_version == bat._state_version
+    assert tick_fee_state(seq) == tick_fee_state(bat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    swaps=st.lists(SWAP, min_size=1, max_size=10),
+    direction=st.booleans(),
+)
+def test_batch_with_nothing_accepted_leaves_pool_untouched(swaps, direction):
+    pool = build_pool()
+    before = pool.snapshot()
+    version = pool._state_version
+    ticks_before = tick_fee_state(pool)
+    batch = pool.begin_swap_batch()
+    for zero_for_one, exact_input, amount, _ in swaps:
+        try:
+            batch.quote(zero_for_one, amount if exact_input else -amount)
+        except AMMError:
+            pass
+    batch.commit()
+    assert pool.snapshot() == before
+    assert pool._state_version == version
+    assert tick_fee_state(pool) == ticks_before
+
+
+# -- executor level -------------------------------------------------------------
+
+RICH = ("u0", "u1", "u2")
+
+TX = st.tuples(
+    st.integers(min_value=0, max_value=4),  # 0-2 rich user, 3 poor, 4 mint
+    st.booleans(),  # zero_for_one
+    st.booleans(),  # exact_input
+    st.one_of(st.just(0), st.integers(min_value=10**13, max_value=3 * 10**17)),
+    st.integers(min_value=0, max_value=2),  # 0 none, 1 slippage, 2 deadline
+)
+
+
+def build_executor() -> SidechainExecutor:
+    executor = SidechainExecutor(build_pool())
+    deposits = {user: [10**20, 10**20] for user in RICH}
+    deposits["poor"] = [0, 0]
+    executor.begin_epoch(deposits)
+    return executor
+
+
+def make_txs(entries):
+    txs = []
+    for user_idx, zero_for_one, exact_input, amount, reject_mode in entries:
+        if user_idx == 4:
+            tx = MintTx(
+                user="u0",
+                tick_lower=-1200,
+                tick_upper=1200,
+                amount0_desired=10**15,
+                amount1_desired=10**15,
+            )
+        else:
+            user = "poor" if user_idx == 3 else RICH[user_idx]
+            amount_limit = None
+            deadline = None
+            if reject_mode == 1:
+                # Unsatisfiable slippage bound: min output (exact input)
+                # or max input (exact output) no swap can meet.
+                amount_limit = 10**30 if exact_input else 1
+            elif reject_mode == 2:
+                deadline = 1  # already passed at current_round = 5
+            tx = SwapTx(
+                user=user,
+                zero_for_one=zero_for_one,
+                exact_input=exact_input,
+                amount=amount,
+                amount_limit=amount_limit,
+                deadline=deadline,
+            )
+        txs.append(tx)
+    return txs
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=st.lists(TX, min_size=1, max_size=14))
+def test_process_round_batch_equals_sequential(entries):
+    batch_ex = build_executor()
+    seq_ex = build_executor()
+    batch_txs = make_txs(entries)
+    seq_txs = make_txs(entries)
+
+    batch_accepted = batch_ex.process_round(batch_txs, current_round=5)
+    seq_accepted = [
+        tx for tx in seq_txs if seq_ex.process(tx, current_round=5)
+    ]
+
+    assert len(batch_accepted) == len(seq_accepted)
+    for b, s in zip(batch_txs, seq_txs):
+        assert b.reject_reason == s.reject_reason
+        if isinstance(b, SwapTx) and not isinstance(b, MintTx):
+            assert b.effects == s.effects
+    assert batch_ex.pool.snapshot() == seq_ex.pool.snapshot()
+    assert batch_ex.pool._state_version == seq_ex.pool._state_version
+    assert tick_fee_state(batch_ex.pool) == tick_fee_state(seq_ex.pool)
+    assert batch_ex.deposits == seq_ex.deposits
+    assert batch_ex.processed_count == seq_ex.processed_count
+    assert batch_ex.rejected_count == seq_ex.rejected_count
