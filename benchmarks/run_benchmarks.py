@@ -254,6 +254,82 @@ def measure_shard_scaling(mode: str) -> dict:
     return block
 
 
+def measure_serving_latency(mode: str) -> dict:
+    """Closed-loop serving percentiles: p50/p99 quote, swap-to-finality.
+
+    Drives the asyncio quote/swap gateway with >=1000 deterministic
+    closed-loop clients against copy-on-epoch pool snapshots.  The tick
+    and finality percentiles (and the log digest) are seed-deterministic;
+    the wall-clock percentiles and throughput depend on the machine, so
+    `compare` never folds this block into the gated scenarios table —
+    it is a trajectory signal, like ``shard_scaling``.
+    """
+    from repro.serving import GatewayConfig, ServingConfig, ServingRun
+    from repro.serving.stats import percentile
+
+    epochs, ticks = {"full": (3, 6), "gate": (2, 4), "quick": (2, 3)}[mode]
+    config = ServingConfig(
+        num_clients=1200,
+        epochs=epochs,
+        ticks_per_epoch=ticks,
+        seed=2024,
+        gateway=GatewayConfig(
+            queue_capacity=512,
+            quote_capacity_per_tick=256,
+            pending_quote_bound=4096,
+        ),
+    )
+    started = time.perf_counter()
+    report = ServingRun(config).execute()
+    elapsed = time.perf_counter() - started
+    wall_ms = [s * 1000.0 for s in report.wall_quote_seconds]
+    tick_latencies = [float(v) for v in report.stats.quote_latency_ticks]
+    finality = [float(v) for v in report.stats.finality_epochs]
+    block = {
+        "unit": "closed-loop serving latency",
+        "clients": config.num_clients,
+        "epochs": epochs,
+        "ticks_per_epoch": ticks,
+        "quotes_served": report.stats.quotes_served,
+        "swaps_accepted": report.stats.submits_accepted,
+        "rejections": {
+            "quote": dict(sorted(report.stats.quote_rejections.items())),
+            "swap": dict(sorted(report.stats.submit_rejections.items())),
+        },
+        "quote_wall_ms": {
+            "p50": round(percentile(wall_ms, 50), 4),
+            "p99": round(percentile(wall_ms, 99), 4),
+        },
+        "quote_ticks": {
+            "p50": percentile(tick_latencies, 50),
+            "p99": percentile(tick_latencies, 99),
+        },
+        "swap_finality_epochs": {
+            "p50": percentile(finality, 50),
+            "p99": percentile(finality, 99),
+        },
+        "quotes_per_sec_wall": (
+            round(report.stats.quotes_served / elapsed, 1) if elapsed else None
+        ),
+        "elapsed_seconds": round(elapsed, 3),
+        "log_digest": report.digest(),
+    }
+    print(
+        "serving_latency: {} clients, quote p50/p99 {}/{} ms wall "
+        "({}/{} ticks), finality p50/p99 {}/{} epochs".format(
+            config.num_clients,
+            block["quote_wall_ms"]["p50"],
+            block["quote_wall_ms"]["p99"],
+            block["quote_ticks"]["p50"],
+            block["quote_ticks"]["p99"],
+            block["swap_finality_epochs"]["p50"],
+            block["swap_finality_epochs"]["p99"],
+        ),
+        file=sys.stderr,
+    )
+    return block
+
+
 def write_store_records(store_dir: Path, results: dict, mode: str) -> None:
     """Persist measurements as content-addressed artifacts + a manifest.
 
@@ -368,6 +444,9 @@ def main(argv: list[str] | None = None) -> int:
     shard_scaling = (
         measure_shard_scaling(mode) if args.scenario is None else None
     )
+    serving_latency = (
+        measure_serving_latency(mode) if args.scenario is None else None
+    )
 
     speedups = {}
     for name, result in results.items():
@@ -389,6 +468,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if shard_scaling is not None:
         report["shard_scaling"] = shard_scaling
+    if serving_latency is not None:
+        report["serving_latency"] = serving_latency
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if args.store is not None:

@@ -20,7 +20,7 @@ from repro.amm.tick_math import (
     get_sqrt_ratio_at_tick,
     get_tick_at_sqrt_ratio,
 )
-from repro.amm.pool import Pool, PoolConfig, SwapResult
+from repro.amm.pool import Pool, PoolConfig, PoolSnapshot, SwapResult
 from repro.amm.position import PositionKey
 from repro.amm.router import Router, SwapQuote
 
@@ -37,6 +37,7 @@ __all__ = [
     "get_tick_at_sqrt_ratio",
     "Pool",
     "PoolConfig",
+    "PoolSnapshot",
     "SwapResult",
     "PositionKey",
     "Router",

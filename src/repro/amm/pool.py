@@ -16,7 +16,7 @@ from repro.amm import liquidity_math, sqrt_price_math, swap_math, tick_math
 from repro.amm.fixed_point import Q128, mul_div
 from repro.amm.oracle import Oracle
 from repro.amm.position import PositionInfo, PositionKey
-from repro.amm.tick import TickTable
+from repro.amm.tick import TickInfo, TickTable
 from repro.errors import (
     AMMError,
     FlashLoanError,
@@ -898,3 +898,104 @@ class Pool:
             "balance0": self.balance0,
             "balance1": self.balance1,
         }
+
+    def freeze(self, epoch: int = 0) -> "PoolSnapshot":
+        """An immutable copy-on-epoch read view for snapshot-isolated quoting.
+
+        Deep-copies every field the swap walk reads (price, tick cursor,
+        liquidity, fee growth, and the full tick table) into a private pool
+        clone, so quotes served from the view keep answering against the
+        frozen state no matter how the live pool advances.  The serving
+        layer publishes one of these per epoch boundary: reads scale
+        horizontally off the frozen view while writes stay epoch-serial on
+        the live pool.
+        """
+        self._require_initialized()
+        return PoolSnapshot(self, epoch)
+
+
+class PoolSnapshot:
+    """Read-only view of a :class:`Pool` frozen at an epoch boundary.
+
+    Quotes delegate to :meth:`Pool.prepare_swap` on a private deep copy
+    of the frozen state, so ``PoolSnapshot.quote`` agrees with
+    :func:`repro.amm.quoter.quote_swap` on the live pool at freeze time
+    to the wei — same walk, same rounding, same error types and
+    messages — while later mutations of the live pool can never leak in.
+    """
+
+    __slots__ = ("_pool", "epoch", "state_version")
+
+    def __init__(self, pool: Pool, epoch: int = 0) -> None:
+        pool._require_initialized()
+        frozen = Pool(pool.config)
+        frozen.sqrt_price_x96 = pool.sqrt_price_x96
+        frozen.tick = pool.tick
+        frozen.liquidity = pool.liquidity
+        frozen.fee_growth_global0_x128 = pool.fee_growth_global0_x128
+        frozen.fee_growth_global1_x128 = pool.fee_growth_global1_x128
+        frozen.balance0 = pool.balance0
+        frozen.balance1 = pool.balance1
+        frozen.initialized = True
+        table = frozen.ticks
+        table.ticks = {
+            tick: TickInfo(
+                liquidity_gross=info.liquidity_gross,
+                liquidity_net=info.liquidity_net,
+                fee_growth_outside0_x128=info.fee_growth_outside0_x128,
+                fee_growth_outside1_x128=info.fee_growth_outside1_x128,
+                initialized=info.initialized,
+            )
+            for tick, info in pool.ticks.ticks.items()
+        }
+        table._sorted = list(pool.ticks._sorted)
+        self._pool = frozen
+        #: Epoch whose boundary this view captures (copy-on-epoch stamp).
+        self.epoch = epoch
+        #: Live pool's state version at freeze time, for staleness checks.
+        self.state_version = pool._state_version
+
+    @property
+    def token0(self) -> str:
+        return self._pool.config.token0
+
+    @property
+    def token1(self) -> str:
+        return self._pool.config.token1
+
+    @property
+    def sqrt_price_x96(self) -> int:
+        return self._pool.sqrt_price_x96
+
+    @property
+    def tick(self) -> int:
+        return self._pool.tick
+
+    @property
+    def liquidity(self) -> int:
+        return self._pool.liquidity
+
+    def quote(
+        self,
+        zero_for_one: bool,
+        amount_specified: int,
+        sqrt_price_limit_x96: int | None = None,
+    ):
+        """Quote a swap against the frozen state; never mutates anything.
+
+        Returns a :class:`repro.amm.quoter.Quote` and raises exactly what
+        the live pool's walk would have raised at freeze time
+        (``AMMError``, ``SlippageError``, ``NoLiquidityError`` — same
+        types, same messages).
+        """
+        from repro.amm.quoter import Quote
+
+        return Quote.from_pending(
+            self._pool.prepare_swap(
+                zero_for_one, amount_specified, sqrt_price_limit_x96
+            )
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-data form of the frozen state (mirrors ``Pool.snapshot``)."""
+        return self._pool.snapshot()

@@ -384,16 +384,24 @@ def arrivals_spec() -> ScenarioSpec:
 #: scenarios (partition_heal, crash_churn, delta_sweep,
 #: interrupted_recovery) live in :mod:`repro.scenarios.faults`, the
 #: sharding scenarios (shard_scaling, hot_shard, cross_shard_ratio) in
-#: :mod:`repro.scenarios.shard`, and the recovery scenarios
-#: (fork_recovery, shard_rebalance) in :mod:`repro.scenarios.recovery`;
-#: all register through the same tuple.
+#: :mod:`repro.scenarios.shard`, the recovery scenarios
+#: (fork_recovery, shard_rebalance) in :mod:`repro.scenarios.recovery`,
+#: and the serving scenarios (serving_latency, serving_overload) in
+#: :mod:`repro.scenarios.serving`; all register through the same tuple.
 from repro.scenarios.faults import FAULT_SPEC_BUILDERS  # noqa: E402
 from repro.scenarios.recovery import RECOVERY_SPEC_BUILDERS  # noqa: E402
+from repro.scenarios.serving import SERVING_SPEC_BUILDERS  # noqa: E402
 from repro.scenarios.shard import SHARD_SPEC_BUILDERS  # noqa: E402
 
 EXTRA_SPEC_BUILDERS = (
-    multipool_spec,
-    adversarial_spec,
-    pbft_adversary_spec,
-    arrivals_spec,
-) + FAULT_SPEC_BUILDERS + SHARD_SPEC_BUILDERS + RECOVERY_SPEC_BUILDERS
+    (
+        multipool_spec,
+        adversarial_spec,
+        pbft_adversary_spec,
+        arrivals_spec,
+    )
+    + FAULT_SPEC_BUILDERS
+    + SHARD_SPEC_BUILDERS
+    + RECOVERY_SPEC_BUILDERS
+    + SERVING_SPEC_BUILDERS
+)

@@ -1,0 +1,25 @@
+"""Latency percentile helpers for the serving layer."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return float(ordered[max(0, min(len(ordered) - 1, rank))])
+
+
+def latency_summary(values: Sequence[float]) -> dict:
+    """The p50/p99/max/count block the scenarios and benchmark report."""
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50.0),
+        "p99": percentile(values, 99.0),
+        "max": float(max(values)) if values else 0.0,
+    }

@@ -72,3 +72,44 @@ def test_format_table_alignment():
 def test_format_table_thousands_separator():
     text = format_table("T", ["n"], [[1_234_567]])
     assert "1,234,567" in text
+
+
+def test_record_refund_buckets_by_reason():
+    metrics = MetricsCollector()
+    metrics.record_refund("timeout")
+    metrics.record_refund("timeout")
+    metrics.record_refund("no_escrow")
+    assert metrics.refunds_by_reason == {"timeout": 2, "no_escrow": 1}
+    assert metrics.aborted_legs == 3
+
+
+def test_record_refund_empty_reason_is_unspecified():
+    metrics = MetricsCollector()
+    metrics.record_refund("")
+    assert metrics.refunds_by_reason == {"unspecified": 1}
+    assert metrics.aborted_legs == 1
+
+
+def test_aborted_legs_always_sums_refund_buckets():
+    metrics = MetricsCollector()
+    for reason in ("timeout", "", "no_escrow", "timeout", "coverage"):
+        metrics.record_refund(reason)
+    assert metrics.aborted_legs == sum(metrics.refunds_by_reason.values())
+
+
+def test_summary_exposes_refunds_sorted_by_reason():
+    metrics = MetricsCollector()
+    for reason in ("zeta", "alpha", "midway", "alpha"):
+        metrics.record_refund(reason)
+    summary = metrics.summary()
+    assert summary["aborted_legs"] == 4
+    assert summary["refunds_by_reason"] == {"alpha": 2, "midway": 1, "zeta": 1}
+    assert list(summary["refunds_by_reason"]) == ["alpha", "midway", "zeta"]
+
+
+def test_summary_exposes_peak_queue_depth():
+    metrics = MetricsCollector()
+    metrics.peak_queue_depth = 37
+    summary = metrics.summary()
+    assert summary["peak_queue_depth"] == 37
+    assert MetricsCollector().summary()["peak_queue_depth"] == 0

@@ -87,13 +87,15 @@ def test_baseline_cli(tmp_path, monkeypatch, capsys):
 
 #: Extra scenarios whose fixtures ride the nightly golden grid alongside
 #: the paper set (PR 5: the shard engine's regression net; PR 6: the
-#: recovery engine's — forks, migrations).
+#: recovery engine's — forks, migrations; PR 8: the serving gateway's
+#: typed-overload behaviour).
 EXTRA_GOLDEN = {
     "shard_scaling",
     "hot_shard",
     "cross_shard_ratio",
     "fork_recovery",
     "shard_rebalance",
+    "serving_overload",
 }
 
 

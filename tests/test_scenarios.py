@@ -41,6 +41,16 @@ def test_every_cli_name_resolves_to_a_registered_spec():
         assert spec.grid
 
 
+def test_every_registered_scenario_has_a_description():
+    all_names = scenarios.names()
+    assert "serving_latency" in all_names
+    assert "serving_overload" in all_names
+    for spec in scenarios.specs():
+        assert spec.description and spec.description.strip(), (
+            f"scenario {spec.name!r} is missing a list-facing description"
+        )
+
+
 def test_register_rejects_duplicates():
     spec = table12_spec()
     with pytest.raises(ConfigurationError):

@@ -1,0 +1,94 @@
+"""Volume conservation of the shard load profiles.
+
+Every profile hands out per-shard multipliers mean-normalised to 1.0, so
+scaling one global daily volume by them conserves the total regardless of
+skew — the spatial analogue of the arrival processes' conservation rule.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload.shard_mix import HotShardLoad, UniformLoad, WeightedLoad
+
+
+def assert_conserves_volume(profile, num_shards):
+    multipliers = profile.multipliers(num_shards)
+    assert len(multipliers) == num_shards
+    assert all(m >= 0 for m in multipliers)
+    assert sum(multipliers) == pytest.approx(num_shards)
+
+
+@settings(max_examples=50, deadline=None)
+@given(num_shards=st.integers(min_value=1, max_value=64))
+def test_uniform_load_conserves_volume(num_shards):
+    assert_conserves_volume(UniformLoad(), num_shards)
+    assert UniformLoad().multipliers(num_shards) == (1.0,) * num_shards
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    num_shards=st.integers(min_value=1, max_value=64),
+    factor=st.floats(min_value=1.0, max_value=1000.0),
+    hot=st.integers(min_value=0, max_value=63),
+)
+def test_hot_shard_load_conserves_volume(num_shards, factor, hot):
+    profile = HotShardLoad(hot_shard=hot % num_shards, factor=factor)
+    assert_conserves_volume(profile, num_shards)
+    multipliers = profile.multipliers(num_shards)
+    assert max(multipliers) == multipliers[hot % num_shards]
+
+
+# Weights are zero or of sane magnitude — subnormal floats like 5e-324
+# overflow the normalization scale and are no sensible traffic share.
+WEIGHT = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-6, max_value=100.0),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    weights=st.lists(WEIGHT, min_size=1, max_size=32).filter(
+        lambda ws: sum(ws) > 0
+    )
+)
+def test_weighted_load_conserves_volume(weights):
+    profile = WeightedLoad(weights=tuple(weights))
+    assert_conserves_volume(profile, len(weights))
+
+
+def test_hot_shard_ratio_matches_factor():
+    multipliers = HotShardLoad(hot_shard=1, factor=4.0).multipliers(3)
+    assert multipliers[1] == pytest.approx(4.0 * multipliers[0])
+    assert multipliers[0] == pytest.approx(multipliers[2])
+
+
+def test_weighted_load_rejects_all_zero_weights():
+    with pytest.raises(ConfigurationError, match="sum to zero"):
+        WeightedLoad(weights=(0.0, 0.0)).multipliers(2)
+
+
+def test_weighted_load_rejects_negative_weight():
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        WeightedLoad(weights=(1.0, -0.5))
+
+
+def test_weighted_load_rejects_length_mismatch():
+    with pytest.raises(ConfigurationError, match="weight"):
+        WeightedLoad(weights=(1.0, 2.0)).multipliers(3)
+
+
+def test_hot_shard_load_rejects_bad_config():
+    with pytest.raises(ConfigurationError, match=">= 1"):
+        HotShardLoad(factor=0.5)
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        HotShardLoad(hot_shard=-1)
+    with pytest.raises(ConfigurationError, match="out of range"):
+        HotShardLoad(hot_shard=5).multipliers(2)
+
+
+def test_profiles_reject_zero_shards():
+    for profile in (UniformLoad(), HotShardLoad(), WeightedLoad(weights=())):
+        with pytest.raises(ConfigurationError, match="at least one shard"):
+            profile.multipliers(0)
