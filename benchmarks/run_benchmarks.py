@@ -13,6 +13,13 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --gate     # CI gate
     PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --store .repro-results
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --backend compiled
+
+``--backend {pure,compiled}`` selects the AMM math/keccak backend (it
+sets ``REPRO_BACKEND`` before the engine import — dispatch binds at
+import time).  Full runs additionally measure a ``backend_speedup``
+block: the *other* backend is benchmarked in a subprocess on the
+dispatch-sensitive scenarios and compiled/pure ratios are recorded.
 
 The JSON also records the seed-commit baseline (measured on the same
 scenario definitions before the fast-path work landed) and the speedup of
@@ -37,8 +44,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -47,7 +57,27 @@ _REPO_ROOT = _HERE.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 sys.path.insert(0, str(_HERE))
 
+
+def _apply_backend_flag(argv: list[str]) -> None:
+    """Honour ``--backend`` before the first ``repro`` import.
+
+    Backend dispatch is resolved once at import time (hot loops bind the
+    selected functions directly), so the flag must become
+    ``REPRO_BACKEND`` before ``bench_amm_engine`` pulls in the engine.
+    argparse still declares the flag below for --help and validation.
+    """
+    for i, arg in enumerate(argv):
+        if arg == "--backend" and i + 1 < len(argv):
+            os.environ["REPRO_BACKEND"] = argv[i + 1]
+        elif arg.startswith("--backend="):
+            os.environ["REPRO_BACKEND"] = arg.split("=", 1)[1]
+
+
+_apply_backend_flag(sys.argv[1:])
+
 import bench_amm_engine  # noqa: E402
+
+from repro.amm import backend as _amm_backend  # noqa: E402
 
 #: Ops/sec measured at the seed commit (pre-optimization engine) with this
 #: same runner.  Kept so every BENCH_amm.json carries its own before/after
@@ -330,6 +360,85 @@ def measure_serving_latency(mode: str) -> dict:
     return block
 
 
+#: Scenarios the cross-backend comparison runs: the two tightest math
+#: loops plus the end-to-end system number the roadmap gates on.
+BACKEND_SPEEDUP_SCENARIOS = ("tick_math_roundtrip", "swap_in_range", "system_epoch")
+
+
+def measure_backend_speedup(results: dict, mode: str) -> dict:
+    """Compiled-vs-pure ops/sec ratios on the dispatch-sensitive scenarios.
+
+    Backend dispatch binds at import time, so the *other* backend has to be
+    measured in a subprocess (same script, ``--backend`` flag, same mode);
+    this process contributes its own already-measured numbers.  If the
+    requested counterpart backend is unavailable (extension not built, so
+    the subprocess silently fell back to pure), the block records that
+    instead of reporting a meaningless ~1.0x ratio.
+    """
+    active = _amm_backend.active_backend()
+    other = "pure" if active == "compiled" else "compiled"
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / f"{other}.json"
+        cmd = [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--backend",
+            other,
+            "-o",
+            str(out),
+        ]
+        if mode != "full":
+            cmd.append(f"--{mode}")
+        for name in BACKEND_SPEEDUP_SCENARIOS:
+            cmd += ["--scenario", name]
+        env = dict(os.environ, REPRO_BACKEND=other)
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(
+                f"backend_speedup: {other}-backend subprocess failed:\n"
+                f"{proc.stderr}",
+                file=sys.stderr,
+            )
+            return {"active_backend": active, "error": "subprocess failed"}
+        other_report = json.loads(out.read_text())
+    other_active = other_report.get("backend", {}).get("active")
+    if other_active != other:
+        print(
+            f"backend_speedup: skipped ({other} backend unavailable; "
+            "build the extension with `pip install -e .[compiled]`)",
+            file=sys.stderr,
+        )
+        return {
+            "active_backend": active,
+            "skipped": f"{other} backend unavailable (extension not built)",
+        }
+    ops = {
+        active: {n: results[n]["ops_per_sec"] for n in BACKEND_SPEEDUP_SCENARIOS},
+        other: {
+            n: other_report["scenarios"][n]["ops_per_sec"]
+            for n in BACKEND_SPEEDUP_SCENARIOS
+        },
+    }
+    block = {
+        "unit": "compiled ops_per_sec / pure ops_per_sec",
+        "scenarios": {
+            name: {
+                "pure": ops["pure"][name],
+                "compiled": ops["compiled"][name],
+                "speedup": round(ops["compiled"][name] / ops["pure"][name], 2),
+            }
+            for name in BACKEND_SPEEDUP_SCENARIOS
+        },
+    }
+    for name, row in block["scenarios"].items():
+        print(
+            f"backend_speedup {name:24s} x{row['speedup']:.2f} "
+            f"(pure {row['pure']:,.0f} -> compiled {row['compiled']:,.0f})",
+            file=sys.stderr,
+        )
+    return block
+
+
 def write_store_records(store_dir: Path, results: dict, mode: str) -> None:
     """Persist measurements as content-addressed artifacts + a manifest.
 
@@ -431,9 +540,23 @@ def main(argv: list[str] | None = None) -> int:
         "functions by cumulative time instead of writing a report "
         "(profiler numbers are ~5-10x slower than timed runs)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("pure", "compiled"),
+        default=None,
+        help="AMM math/keccak backend to benchmark (sets REPRO_BACKEND "
+        "before the engine import; default: whatever REPRO_BACKEND says)",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.gate:
         parser.error("--quick and --gate are mutually exclusive")
+    if args.backend and args.backend != _amm_backend.requested_backend:
+        # Dispatch bound at import time; a programmatic main(argv) call
+        # cannot switch it after the fact.
+        parser.error(
+            "--backend only takes effect on the command line (backend "
+            f"dispatch already bound to {_amm_backend.requested_backend!r})"
+        )
     mode = "quick" if args.quick else "gate" if args.gate else "full"
 
     names = args.scenario or list(SCENARIOS)
@@ -446,6 +569,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     serving_latency = (
         measure_serving_latency(mode) if args.scenario is None else None
+    )
+    backend_speedup = (
+        measure_backend_speedup(results, mode) if args.scenario is None else None
     )
 
     speedups = {}
@@ -462,6 +588,11 @@ def main(argv: list[str] | None = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "backend": {
+            "requested": _amm_backend.requested_backend,
+            "active": _amm_backend.active_backend(),
+            "fell_back": _amm_backend.backend_fell_back(),
+        },
         "scenarios": results,
         "seed_baseline_ops_per_sec": SEED_BASELINE_OPS_PER_SEC,
         "speedup_vs_seed": speedups,
@@ -470,6 +601,8 @@ def main(argv: list[str] | None = None) -> int:
         report["shard_scaling"] = shard_scaling
     if serving_latency is not None:
         report["serving_latency"] = serving_latency
+    if backend_speedup is not None:
+        report["backend_speedup"] = backend_speedup
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if args.store is not None:

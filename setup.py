@@ -4,20 +4,36 @@ The single source of truth for install/test/lint dependencies — every CI
 job installs through these extras instead of ad-hoc pip lists::
 
     pip install -e .            # runtime only (stdlib-pure)
+    pip install -e .[compiled]  # + build the optional C math backend
     pip install -e .[test]      # + pytest, hypothesis, pytest-cov
     pip install -e .[lint]      # + ruff, mypy
     pip install -e .[dev]       # everything
+
+The ``repro._compiled`` extension (hand-written CPython C API, no
+codegen dependencies) is always *attempted* but marked optional: a
+missing compiler degrades to the pure-Python backend instead of failing
+the install.  ``REPRO_BACKEND=compiled`` activates it at runtime; see
+``src/repro/amm/backend.py``.  The ``[compiled]`` extra is an empty
+dependency list — it exists so ``pip install -e .[compiled]`` is the
+documented one-command path CI and users share, and so a future
+codegen-based backend has a place to declare build requirements.
 """
 
 from pathlib import Path
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
 
 _version: dict = {}
 exec((Path(__file__).parent / "src" / "repro" / "version.py").read_text(), _version)
 
 TEST_REQUIRES = ["pytest>=7", "hypothesis>=6", "pytest-cov>=4"]
 LINT_REQUIRES = ["ruff>=0.4", "mypy>=1.8"]
+
+COMPILED_EXTENSION = Extension(
+    "repro._compiled",
+    sources=["src/repro/_compiledmodule.c"],
+    optional=True,  # no compiler -> pure backend, never a failed install
+)
 
 setup(
     name="repro-ammboost",
@@ -29,9 +45,11 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    ext_modules=[COMPILED_EXTENSION],
     python_requires=">=3.11",
     install_requires=[],  # runtime is stdlib-only by design
     extras_require={
+        "compiled": [],
         "test": TEST_REQUIRES,
         "lint": LINT_REQUIRES,
         "dev": TEST_REQUIRES + LINT_REQUIRES,

@@ -1,0 +1,1406 @@
+/* repro._compiled — optional compiled backend for the AMM fixed-point math
+ * (tick_math / sqrt_price_math / swap_math) and the keccak256 part-hash.
+ *
+ * Design contract (see src/repro/amm/backend.py):
+ *   - Every exported function is semantically identical to its pure-Python
+ *     counterpart, including rounding directions and exception types and
+ *     messages.  The C code only takes a native fast path on the guarded
+ *     happy path (non-negative operands, intermediates below 2^512, no
+ *     error condition); anything else re-invokes the *installed* pure
+ *     function with the original arguments, so the pure implementation
+ *     raises its own exceptions and computes its own edge cases.  Parity
+ *     on error paths therefore holds by construction; the property suite
+ *     in tests/test_backend_parity.py pins the happy path.
+ *   - backend.py must call _install() with the pure fallbacks before
+ *     exposing any of these functions.
+ *
+ * Arithmetic core: fixed-width 512-bit unsigned integers as 16 little-
+ * endian 32-bit limbs.  32-bit limbs keep the Knuth Algorithm D division
+ * free of 128-bit carry corner cases (all intermediates fit uint64_t).
+ * AMM operands are at most ~borderline 417 bits (reserve denominator),
+ * products at most ~384 bits, so 512 bits covers every guarded path.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <string.h>
+
+typedef unsigned __int128 u128;
+typedef __int128 i128;
+
+#define U128C(hi, lo) ((((u128)(hi)) << 64) | (u128)(lo))
+
+/* ------------------------------------------------------------------ */
+/* u512: 16 x 32-bit little-endian limbs                               */
+/* ------------------------------------------------------------------ */
+
+#define NLIMBS 16
+
+typedef struct {
+    uint32_t w[NLIMBS];
+} U;
+
+static void u_zero(U *a) { memset(a->w, 0, sizeof(a->w)); }
+
+static int u_nlimbs(const U *a)
+{
+    for (int i = NLIMBS - 1; i >= 0; i--)
+        if (a->w[i])
+            return i + 1;
+    return 0;
+}
+
+static int u_is_zero(const U *a) { return u_nlimbs(a) == 0; }
+
+static void u_from_u64(U *a, uint64_t v)
+{
+    u_zero(a);
+    a->w[0] = (uint32_t)v;
+    a->w[1] = (uint32_t)(v >> 32);
+}
+
+static void u_from_u128(U *a, u128 v)
+{
+    u_zero(a);
+    for (int i = 0; i < 4; i++)
+        a->w[i] = (uint32_t)(v >> (32 * i));
+}
+
+static int u_cmp(const U *a, const U *b)
+{
+    for (int i = NLIMBS - 1; i >= 0; i--) {
+        if (a->w[i] != b->w[i])
+            return a->w[i] < b->w[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/* r = a + b; returns the carry out (wrapping add). */
+static uint32_t u_add(U *r, const U *a, const U *b)
+{
+    uint64_t carry = 0;
+    for (int i = 0; i < NLIMBS; i++) {
+        uint64_t s = (uint64_t)a->w[i] + b->w[i] + carry;
+        r->w[i] = (uint32_t)s;
+        carry = s >> 32;
+    }
+    return (uint32_t)carry;
+}
+
+/* r = a - b; returns the borrow out (wrapping sub). */
+static uint32_t u_sub(U *r, const U *a, const U *b)
+{
+    int64_t borrow = 0;
+    for (int i = 0; i < NLIMBS; i++) {
+        int64_t d = (int64_t)a->w[i] - b->w[i] - borrow;
+        r->w[i] = (uint32_t)d;
+        borrow = d < 0 ? 1 : 0;
+    }
+    return (uint32_t)borrow;
+}
+
+/* a += 1 in place; guarded-path values never sit at 2^512-1 (see callers). */
+static void u_add_one(U *a)
+{
+    for (int i = 0; i < NLIMBS; i++) {
+        if (++a->w[i])
+            return;
+    }
+}
+
+/* Two's-complement negate in place (for 512-bit signed arithmetic). */
+static void u_neg(U *a)
+{
+    uint64_t carry = 1;
+    for (int i = 0; i < NLIMBS; i++) {
+        uint64_t s = (uint64_t)(uint32_t)~a->w[i] + carry;
+        a->w[i] = (uint32_t)s;
+        carry = s >> 32;
+    }
+}
+
+/* r = a << k.  Returns nonzero if bits shift out of the top (overflow). */
+static int u_shl(U *r, const U *a, unsigned k)
+{
+    unsigned limbs = k / 32, bits = k % 32;
+    U t;
+    u_zero(&t);
+    int lost = 0;
+    for (int i = NLIMBS - 1; i >= 0; i--) {
+        uint64_t v = ((uint64_t)a->w[i]) << bits;
+        unsigned hi_ix = i + limbs + 1, lo_ix = i + limbs;
+        uint32_t hi = (uint32_t)(v >> 32), lo = (uint32_t)v;
+        if (hi) {
+            if (hi_ix >= NLIMBS)
+                lost = 1;
+            else
+                t.w[hi_ix] |= hi;
+        }
+        if (lo) {
+            if (lo_ix >= NLIMBS)
+                lost = 1;
+            else
+                t.w[lo_ix] |= lo;
+        }
+    }
+    *r = t;
+    return lost;
+}
+
+/* r = a >> k (k < 512). */
+static void u_shr(U *r, const U *a, unsigned k)
+{
+    unsigned limbs = k / 32, bits = k % 32;
+    U t;
+    u_zero(&t);
+    for (unsigned i = limbs; i < NLIMBS; i++) {
+        uint64_t v = a->w[i];
+        t.w[i - limbs] |= (uint32_t)(v >> bits);
+        if (bits && i - limbs >= 1)
+            t.w[i - limbs - 1] |= (uint32_t)((v << (32 - bits)) & 0xFFFFFFFFu);
+    }
+    *r = t;
+}
+
+/* r = a * b.  Returns nonzero on overflow past 512 bits.  Callers guard
+ * with u_nlimbs(a) + u_nlimbs(b) <= NLIMBS, which makes overflow
+ * impossible; the return value is a belt-and-braces check. */
+static int u_mul(U *r, const U *a, const U *b)
+{
+    int na = u_nlimbs(a), nb = u_nlimbs(b);
+    uint32_t acc[2 * NLIMBS];
+    memset(acc, 0, sizeof(acc));
+    for (int i = 0; i < na; i++) {
+        uint64_t carry = 0, ai = a->w[i];
+        if (!ai)
+            continue;
+        for (int j = 0; j < nb; j++) {
+            uint64_t s = ai * b->w[j] + acc[i + j] + carry;
+            acc[i + j] = (uint32_t)s;
+            carry = s >> 32;
+        }
+        int k = i + nb;
+        while (carry) {
+            uint64_t s = (uint64_t)acc[k] + carry;
+            acc[k] = (uint32_t)s;
+            carry = s >> 32;
+            k++;
+        }
+    }
+    for (int i = NLIMBS; i < 2 * NLIMBS; i++)
+        if (acc[i])
+            return 1;
+    memcpy(r->w, acc, sizeof(r->w));
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Knuth Algorithm D (Hacker's Delight divmnu, 32-bit limbs)           */
+/* ------------------------------------------------------------------ */
+
+static int nlz32(uint32_t x) { return x ? __builtin_clz(x) : 32; }
+
+/* u (m limbs) / v (n limbs, v[n-1] != 0, m >= n >= 1).
+ * q receives m - n + 1 limbs; r (may be NULL) receives n limbs. */
+static void divmnu(uint32_t *q, uint32_t *r, const uint32_t *u,
+                   const uint32_t *v, int m, int n)
+{
+    const uint64_t base = 1ULL << 32;
+
+    if (n == 1) {
+        uint64_t rem = 0;
+        for (int j = m - 1; j >= 0; j--) {
+            uint64_t cur = (rem << 32) | u[j];
+            q[j] = (uint32_t)(cur / v[0]);
+            rem = cur % v[0];
+        }
+        if (r)
+            r[0] = (uint32_t)rem;
+        return;
+    }
+
+    int s = nlz32(v[n - 1]); /* normalize so v[n-1] has its top bit set */
+    uint32_t vn[NLIMBS], un[NLIMBS + 1];
+    for (int i = n - 1; i > 0; i--)
+        vn[i] = s ? ((v[i] << s) | (v[i - 1] >> (32 - s))) : v[i];
+    vn[0] = v[0] << s;
+    un[m] = s ? (u[m - 1] >> (32 - s)) : 0;
+    for (int i = m - 1; i > 0; i--)
+        un[i] = s ? ((u[i] << s) | (u[i - 1] >> (32 - s))) : u[i];
+    un[0] = u[0] << s;
+
+    for (int j = m - n; j >= 0; j--) {
+        uint64_t num = ((uint64_t)un[j + n] << 32) | un[j + n - 1];
+        uint64_t qhat = num / vn[n - 1];
+        uint64_t rhat = num % vn[n - 1];
+        while (qhat >= base ||
+               qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+            qhat--;
+            rhat += vn[n - 1];
+            if (rhat >= base)
+                break;
+        }
+        /* multiply and subtract */
+        int64_t t, k = 0;
+        for (int i = 0; i < n; i++) {
+            uint64_t p = qhat * vn[i];
+            t = (int64_t)un[i + j] - k - (int64_t)(p & 0xFFFFFFFFu);
+            un[i + j] = (uint32_t)t;
+            k = (int64_t)(p >> 32) - (t >> 32);
+        }
+        t = (int64_t)un[j + n] - k;
+        un[j + n] = (uint32_t)t;
+        q[j] = (uint32_t)qhat;
+        if (t < 0) { /* add back (probability ~ 2/2^32) */
+            q[j]--;
+            uint64_t carry = 0;
+            for (int i = 0; i < n; i++) {
+                uint64_t sum = (uint64_t)un[i + j] + vn[i] + carry;
+                un[i + j] = (uint32_t)sum;
+                carry = sum >> 32;
+            }
+            un[j + n] = (uint32_t)(un[j + n] + carry);
+        }
+    }
+
+    if (r) {
+        for (int i = 0; i < n - 1; i++)
+            r[i] = s ? ((un[i] >> s) | ((uint64_t)un[i + 1] << (32 - s)))
+                     : un[i];
+        r[n - 1] = un[n - 1] >> s;
+    }
+}
+
+/* q = a // b, rem = a % b (rem may be NULL).  b must be nonzero. */
+static void u_divmod(U *q, U *rem, const U *a, const U *b)
+{
+    int m = u_nlimbs(a), n = u_nlimbs(b);
+    if (m < n) {
+        if (rem)
+            *rem = *a;
+        u_zero(q);
+        return;
+    }
+    uint32_t qq[NLIMBS], rr[NLIMBS];
+    memset(qq, 0, sizeof(qq));
+    memset(rr, 0, sizeof(rr));
+    divmnu(qq, rem ? rr : NULL, a->w, b->w, m, n);
+    U out;
+    u_zero(&out);
+    memcpy(out.w, qq, (size_t)(m - n + 1) * sizeof(uint32_t));
+    if (rem) {
+        u_zero(rem);
+        memcpy(rem->w, rr, (size_t)n * sizeof(uint32_t));
+    }
+    *q = out;
+}
+
+/* ------------------------------------------------------------------ */
+/* PyLong <-> U conversion                                             */
+/* ------------------------------------------------------------------ */
+
+/* Status codes shared by conversions and the guarded math helpers. */
+#define ST_OK 0
+#define ST_FALLBACK 1 /* out of the guarded domain: use the pure function */
+#define ST_ERROR (-1) /* a Python exception is set */
+
+/* Magnitude + sign from an int.  ST_FALLBACK for non-ints and for
+ * magnitudes that do not fit in 512 bits. */
+static int u_from_pylong(PyObject *o, U *out, int *negative)
+{
+    if (!PyLong_Check(o))
+        return ST_FALLBACK;
+    int ovf = 0;
+    long long v = PyLong_AsLongLongAndOverflow(o, &ovf);
+    if (!ovf) {
+        if (v == -1 && PyErr_Occurred())
+            return ST_ERROR;
+        *negative = v < 0;
+        uint64_t mag =
+            v < 0 ? (uint64_t)(-(v + 1)) + 1 : (uint64_t)v;
+        u_from_u64(out, mag);
+        return ST_OK;
+    }
+    unsigned char buf[65]; /* 520 bits signed: covers any 512-bit magnitude */
+#if PY_VERSION_HEX >= 0x030D0000
+    int rc = _PyLong_AsByteArray((PyLongObject *)o, buf, sizeof(buf), 1, 1, 1);
+#else
+    int rc = _PyLong_AsByteArray((PyLongObject *)o, buf, sizeof(buf), 1, 1);
+#endif
+    if (rc < 0) {
+        PyErr_Clear();
+        return ST_FALLBACK;
+    }
+    int neg = (buf[64] & 0x80) != 0;
+    if (neg) { /* two's complement -> magnitude */
+        unsigned carry = 1;
+        for (int i = 0; i < 65; i++) {
+            unsigned x = (unsigned char)~buf[i] + carry;
+            buf[i] = (unsigned char)x;
+            carry = x >> 8;
+        }
+    }
+    if (buf[64])
+        return ST_FALLBACK; /* magnitude needs more than 512 bits */
+    for (int i = 0; i < NLIMBS; i++) {
+        out->w[i] = (uint32_t)buf[4 * i] | ((uint32_t)buf[4 * i + 1] << 8) |
+                    ((uint32_t)buf[4 * i + 2] << 16) |
+                    ((uint32_t)buf[4 * i + 3] << 24);
+    }
+    *negative = neg;
+    return ST_OK;
+}
+
+static PyObject *u_to_pylong(const U *a, int negative)
+{
+    int n = u_nlimbs(a);
+    if (n <= 2) {
+        uint64_t v = (uint64_t)a->w[0] | ((uint64_t)a->w[1] << 32);
+        if (!negative)
+            return PyLong_FromUnsignedLongLong(v);
+        if (v <= (uint64_t)INT64_MAX)
+            return PyLong_FromLongLong(-(int64_t)v);
+    }
+    unsigned char buf[64];
+    for (int i = 0; i < NLIMBS; i++) {
+        buf[4 * i] = (unsigned char)a->w[i];
+        buf[4 * i + 1] = (unsigned char)(a->w[i] >> 8);
+        buf[4 * i + 2] = (unsigned char)(a->w[i] >> 16);
+        buf[4 * i + 3] = (unsigned char)(a->w[i] >> 24);
+    }
+    PyObject *x = _PyLong_FromByteArray(buf, sizeof(buf), 1, 0);
+    if (x && negative) {
+        PyObject *neg = PyNumber_Negative(x);
+        Py_DECREF(x);
+        return neg;
+    }
+    return x;
+}
+
+/* ------------------------------------------------------------------ */
+/* Pure-Python fallback registry (installed by repro.amm.backend)      */
+/* ------------------------------------------------------------------ */
+
+enum {
+    FB_MUL_DIV = 0,
+    FB_MUL_DIV_RU,
+    FB_DIV_RU,
+    FB_AMOUNT0,
+    FB_AMOUNT1,
+    FB_NEXT_IN,
+    FB_NEXT_OUT,
+    FB_STEP_VALUES,
+    FB_SQRT_AT_TICK,
+    FB_TICK_AT_SQRT,
+    FB_TO_BYTES,
+    FB_KECCAK256,
+    FB_COUNT
+};
+
+static const char *const fb_names[FB_COUNT] = {
+    "mul_div",
+    "mul_div_rounding_up",
+    "div_rounding_up",
+    "get_amount0_delta",
+    "get_amount1_delta",
+    "get_next_sqrt_price_from_input",
+    "get_next_sqrt_price_from_output",
+    "compute_swap_step_values",
+    "get_sqrt_ratio_at_tick",
+    "get_tick_at_sqrt_ratio",
+    "to_bytes",
+    "keccak256",
+};
+
+static PyObject *fallbacks[FB_COUNT];
+
+static PyObject *fb_vectorcall(int idx, PyObject *const *args,
+                               Py_ssize_t nargs)
+{
+    PyObject *f = fallbacks[idx];
+    if (!f) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "repro._compiled: pure fallback %s not installed "
+                     "(backend.py must call _install first)",
+                     fb_names[idx]);
+        return NULL;
+    }
+    return PyObject_Vectorcall(f, args, (size_t)nargs, NULL);
+}
+
+static PyObject *fb_call(int idx, PyObject *args, PyObject *kwargs)
+{
+    PyObject *f = fallbacks[idx];
+    if (!f) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "repro._compiled: pure fallback %s not installed "
+                     "(backend.py must call _install first)",
+                     fb_names[idx]);
+        return NULL;
+    }
+    return PyObject_Call(f, args, kwargs);
+}
+
+/* ------------------------------------------------------------------ */
+/* Guarded AMM math (unsigned; ST_FALLBACK on any edge or error path)  */
+/* ------------------------------------------------------------------ */
+
+/* floor or ceil of a*b/d.  d must be nonzero (callers check). */
+static int amm_mul_div(U *out, const U *a, const U *b, const U *d, int ceil_)
+{
+    if (u_nlimbs(a) + u_nlimbs(b) > NLIMBS)
+        return ST_FALLBACK;
+    U p;
+    if (u_mul(&p, a, b))
+        return ST_FALLBACK;
+    U q, r;
+    u_divmod(&q, &r, &p, d);
+    if (ceil_ && !u_is_zero(&r))
+        u_add_one(&q);
+    *out = q;
+    return ST_OK;
+}
+
+/* get_amount0_delta: L*(1/sqrt(a) - 1/sqrt(b)) with pool-favouring
+ * rounding.  ra/rb/L non-negative; min(ra, rb) == 0 falls back (pure
+ * raises AMMError("sqrt ratio must be positive")). */
+static int amm_amount0_delta(U *out, const U *ra, const U *rb, const U *L,
+                             int round_up)
+{
+    U a = *ra, b = *rb;
+    if (u_cmp(&a, &b) > 0) {
+        U t = a;
+        a = b;
+        b = t;
+    }
+    if (u_is_zero(&a))
+        return ST_FALLBACK;
+    U num1;
+    if (u_shl(&num1, L, 96))
+        return ST_FALLBACK;
+    U diff;
+    u_sub(&diff, &b, &a);
+    if (u_nlimbs(&num1) + u_nlimbs(&diff) > NLIMBS)
+        return ST_FALLBACK;
+    U num;
+    if (u_mul(&num, &num1, &diff))
+        return ST_FALLBACK;
+    U q, r;
+    if (round_up) {
+        /* intermediate = ceil(num / b); result = (intermediate+a-1)//a */
+        U inter;
+        u_divmod(&inter, &r, &num, &b);
+        if (!u_is_zero(&r))
+            u_add_one(&inter);
+        U one, am1, sum;
+        u_from_u64(&one, 1);
+        u_sub(&am1, &a, &one);
+        if (u_add(&sum, &inter, &am1))
+            return ST_FALLBACK;
+        u_divmod(&q, &r, &sum, &a);
+    } else {
+        U t;
+        u_divmod(&t, &r, &num, &b);
+        u_divmod(&q, &r, &t, &a);
+    }
+    *out = q;
+    return ST_OK;
+}
+
+/* get_amount1_delta: L*(sqrt(b) - sqrt(a)) >> 96 with rounding. */
+static int amm_amount1_delta(U *out, const U *ra, const U *rb, const U *L,
+                             int round_up)
+{
+    U a = *ra, b = *rb;
+    if (u_cmp(&a, &b) > 0) {
+        U t = a;
+        a = b;
+        b = t;
+    }
+    U diff;
+    u_sub(&diff, &b, &a);
+    if (u_nlimbs(L) + u_nlimbs(&diff) > NLIMBS)
+        return ST_FALLBACK;
+    U prod;
+    if (u_mul(&prod, L, &diff))
+        return ST_FALLBACK;
+    if (round_up) {
+        /* ceil(prod / 2^96) == (prod + 2^96 - 1) >> 96 for prod >= 0 */
+        U q96m1, sum;
+        u_zero(&q96m1);
+        q96m1.w[0] = q96m1.w[1] = q96m1.w[2] = 0xFFFFFFFFu;
+        if (u_add(&sum, &prod, &q96m1))
+            return ST_FALLBACK;
+        u_shr(out, &sum, 96);
+    } else {
+        u_shr(out, &prod, 96);
+    }
+    return ST_OK;
+}
+
+/* Price after amount of token0 moves.  Caller guarantees L > 0 when
+ * add is true (denominator positivity). */
+static int amm_next_from_amount0(U *out, const U *sp, const U *L,
+                                 const U *amount, int add)
+{
+    if (u_is_zero(amount)) {
+        *out = *sp;
+        return ST_OK;
+    }
+    U num1;
+    if (u_shl(&num1, L, 96))
+        return ST_FALLBACK;
+    if (u_nlimbs(amount) + u_nlimbs(sp) > NLIMBS)
+        return ST_FALLBACK;
+    U prod;
+    if (u_mul(&prod, amount, sp))
+        return ST_FALLBACK;
+    U denom;
+    if (add) {
+        if (u_add(&denom, &num1, &prod))
+            return ST_FALLBACK;
+    } else {
+        if (u_cmp(&num1, &prod) <= 0)
+            return ST_FALLBACK; /* pure raises "token0 removal exceeds reserves" */
+        u_sub(&denom, &num1, &prod);
+    }
+    return amm_mul_div(out, &num1, sp, &denom, 1);
+}
+
+/* Price after amount of token1 moves.  Caller guarantees L > 0. */
+static int amm_next_from_amount1(U *out, const U *sp, const U *L,
+                                 const U *amount, int add)
+{
+    U sh;
+    if (u_shl(&sh, amount, 96))
+        return ST_FALLBACK;
+    U q, r;
+    u_divmod(&q, &r, &sh, L);
+    if (add) {
+        if (u_add(out, sp, &q))
+            return ST_FALLBACK;
+        return ST_OK;
+    }
+    if (!u_is_zero(&r))
+        u_add_one(&q); /* div_rounding_up */
+    if (u_cmp(sp, &q) <= 0)
+        return ST_FALLBACK; /* pure raises "token1 removal exceeds reserves" */
+    u_sub(out, sp, &q);
+    return ST_OK;
+}
+
+#define FEE_DENOM 1000000ULL
+
+/* compute_swap_step_values, mirroring swap_math.py statement for
+ * statement.  amt is |amount_remaining| with sign flag amt_neg; fee is
+ * already range-checked to [0, FEE_DENOM) by the caller.  Any fallback
+ * re-runs the pure function from scratch, which is safe because nothing
+ * here has side effects. */
+static int amm_swap_step(const U *cur, const U *target, const U *L,
+                         const U *amt, int amt_neg, uint64_t fee, U out[4])
+{
+    int zfo = u_cmp(cur, target) >= 0;
+    int exact_in = !amt_neg;
+    int st;
+    U next, amount_in, amount_out, feden;
+    u_from_u64(&feden, FEE_DENOM);
+
+    if (exact_in) {
+        U arlf, fmul;
+        u_from_u64(&fmul, FEE_DENOM - fee);
+        if ((st = amm_mul_div(&arlf, amt, &fmul, &feden, 0)))
+            return st;
+        if (zfo)
+            st = amm_amount0_delta(&amount_in, target, cur, L, 1);
+        else
+            st = amm_amount1_delta(&amount_in, cur, target, L, 1);
+        if (st)
+            return st;
+        if (u_cmp(&arlf, &amount_in) >= 0) {
+            next = *target;
+        } else {
+            /* pure validates price/liquidity inside from_input only */
+            if (u_is_zero(cur) || u_is_zero(L))
+                return ST_FALLBACK;
+            if (zfo)
+                st = amm_next_from_amount0(&next, cur, L, &arlf, 1);
+            else
+                st = amm_next_from_amount1(&next, cur, L, &arlf, 1);
+            if (st)
+                return st;
+        }
+    } else {
+        if (zfo)
+            st = amm_amount1_delta(&amount_out, target, cur, L, 0);
+        else
+            st = amm_amount0_delta(&amount_out, cur, target, L, 0);
+        if (st)
+            return st;
+        if (u_cmp(amt, &amount_out) >= 0) {
+            next = *target;
+        } else {
+            if (u_is_zero(cur) || u_is_zero(L))
+                return ST_FALLBACK;
+            if (zfo)
+                st = amm_next_from_amount1(&next, cur, L, amt, 0);
+            else
+                st = amm_next_from_amount0(&next, cur, L, amt, 0);
+            if (st)
+                return st;
+        }
+    }
+
+    int at_target = u_cmp(&next, target) == 0;
+    U in_final, out_final;
+    if (zfo) {
+        if (at_target && exact_in)
+            in_final = amount_in;
+        else if ((st = amm_amount0_delta(&in_final, &next, cur, L, 1)))
+            return st;
+        if (at_target && !exact_in)
+            out_final = amount_out;
+        else if ((st = amm_amount1_delta(&out_final, &next, cur, L, 0)))
+            return st;
+    } else {
+        if (at_target && exact_in)
+            in_final = amount_in;
+        else if ((st = amm_amount1_delta(&in_final, cur, &next, L, 1)))
+            return st;
+        if (at_target && !exact_in)
+            out_final = amount_out;
+        else if ((st = amm_amount0_delta(&out_final, cur, &next, L, 0)))
+            return st;
+    }
+
+    if (!exact_in && u_cmp(&out_final, amt) > 0)
+        out_final = *amt;
+
+    U fee_amount;
+    if (exact_in && !at_target) {
+        if (u_cmp(amt, &in_final) < 0)
+            return ST_FALLBACK; /* would go negative; let pure decide */
+        u_sub(&fee_amount, amt, &in_final);
+    } else {
+        U feeU, fd;
+        u_from_u64(&feeU, fee);
+        u_from_u64(&fd, FEE_DENOM - fee);
+        if ((st = amm_mul_div(&fee_amount, &in_final, &feeU, &fd, 1)))
+            return st;
+    }
+
+    out[0] = next;
+    out[1] = in_final;
+    out[2] = out_final;
+    out[3] = fee_amount;
+    return ST_OK;
+}
+
+/* ------------------------------------------------------------------ */
+/* Exported fixed-point functions                                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *c_mul_div_common(int fb_idx, int ceil_, PyObject *const *args,
+                                  Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return fb_vectorcall(fb_idx, args, nargs);
+    U a, b, d;
+    int na, nb, nd, st;
+    if ((st = u_from_pylong(args[0], &a, &na)) ||
+        (st = u_from_pylong(args[1], &b, &nb)) ||
+        (st = u_from_pylong(args[2], &d, &nd))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_vectorcall(fb_idx, args, nargs);
+    }
+    if (na || nb || nd || u_is_zero(&d))
+        return fb_vectorcall(fb_idx, args, nargs);
+    U q;
+    if (amm_mul_div(&q, &a, &b, &d, ceil_))
+        return fb_vectorcall(fb_idx, args, nargs);
+    return u_to_pylong(&q, 0);
+}
+
+static PyObject *c_mul_div(PyObject *self, PyObject *const *args,
+                           Py_ssize_t nargs)
+{
+    (void)self;
+    return c_mul_div_common(FB_MUL_DIV, 0, args, nargs);
+}
+
+static PyObject *c_mul_div_rounding_up(PyObject *self, PyObject *const *args,
+                                       Py_ssize_t nargs)
+{
+    (void)self;
+    return c_mul_div_common(FB_MUL_DIV_RU, 1, args, nargs);
+}
+
+static PyObject *c_div_rounding_up(PyObject *self, PyObject *const *args,
+                                   Py_ssize_t nargs)
+{
+    (void)self;
+    if (nargs != 2)
+        return fb_vectorcall(FB_DIV_RU, args, nargs);
+    U a, d;
+    int na, nd, st;
+    if ((st = u_from_pylong(args[0], &a, &na)) ||
+        (st = u_from_pylong(args[1], &d, &nd))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_vectorcall(FB_DIV_RU, args, nargs);
+    }
+    if (na || nd || u_is_zero(&d))
+        return fb_vectorcall(FB_DIV_RU, args, nargs);
+    /* (a + d - 1) // d, exactly as the pure helper writes it */
+    U one, dm1, sum, q, r;
+    u_from_u64(&one, 1);
+    u_sub(&dm1, &d, &one);
+    if (u_add(&sum, &a, &dm1))
+        return fb_vectorcall(FB_DIV_RU, args, nargs);
+    u_divmod(&q, &r, &sum, &d);
+    return u_to_pylong(&q, 0);
+}
+
+/* ------------------------------------------------------------------ */
+/* Exported sqrt-price functions (keyword-capable)                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *c_amount_delta_common(int fb_idx, PyObject *args,
+                                       PyObject *kwargs)
+{
+    static char *kwlist[] = {"sqrt_ratio_a_x96", "sqrt_ratio_b_x96",
+                             "liquidity", "round_up", NULL};
+    PyObject *oa, *ob, *ol, *oru;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "OOOO", kwlist, &oa, &ob,
+                                     &ol, &oru)) {
+        PyErr_Clear(); /* let the pure function raise its own TypeError */
+        return fb_call(fb_idx, args, kwargs);
+    }
+    int round_up = PyObject_IsTrue(oru);
+    if (round_up < 0) {
+        PyErr_Clear();
+        return fb_call(fb_idx, args, kwargs);
+    }
+    U a, b, L;
+    int na, nb, nl, st;
+    if ((st = u_from_pylong(oa, &a, &na)) ||
+        (st = u_from_pylong(ob, &b, &nb)) ||
+        (st = u_from_pylong(ol, &L, &nl))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_call(fb_idx, args, kwargs);
+    }
+    if (na || nb || nl)
+        return fb_call(fb_idx, args, kwargs);
+    U out;
+    if (fb_idx == FB_AMOUNT0)
+        st = amm_amount0_delta(&out, &a, &b, &L, round_up);
+    else
+        st = amm_amount1_delta(&out, &a, &b, &L, round_up);
+    if (st)
+        return fb_call(fb_idx, args, kwargs);
+    return u_to_pylong(&out, 0);
+}
+
+static PyObject *c_get_amount0_delta(PyObject *self, PyObject *args,
+                                     PyObject *kwargs)
+{
+    (void)self;
+    return c_amount_delta_common(FB_AMOUNT0, args, kwargs);
+}
+
+static PyObject *c_get_amount1_delta(PyObject *self, PyObject *args,
+                                     PyObject *kwargs)
+{
+    (void)self;
+    return c_amount_delta_common(FB_AMOUNT1, args, kwargs);
+}
+
+static PyObject *c_next_price_common(int fb_idx, const char *amount_name,
+                                     PyObject *args, PyObject *kwargs)
+{
+    char *kwlist[] = {"sqrt_price_x96", "liquidity", (char *)amount_name,
+                      "zero_for_one", NULL};
+    PyObject *osp, *ol, *oam, *ozfo;
+    if (!PyArg_ParseTupleAndKeywords(args, kwargs, "OOOO", kwlist, &osp, &ol,
+                                     &oam, &ozfo)) {
+        PyErr_Clear();
+        return fb_call(fb_idx, args, kwargs);
+    }
+    int zfo = PyObject_IsTrue(ozfo);
+    if (zfo < 0) {
+        PyErr_Clear();
+        return fb_call(fb_idx, args, kwargs);
+    }
+    U sp, L, amt;
+    int nsp, nl, nam, st;
+    if ((st = u_from_pylong(osp, &sp, &nsp)) ||
+        (st = u_from_pylong(ol, &L, &nl)) ||
+        (st = u_from_pylong(oam, &amt, &nam))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_call(fb_idx, args, kwargs);
+    }
+    /* pure raises AMMError for sp <= 0 or L <= 0; negative amounts take
+     * pure's (unguarded) signed arithmetic */
+    if (nsp || nl || nam || u_is_zero(&sp) || u_is_zero(&L))
+        return fb_call(fb_idx, args, kwargs);
+    U out;
+    if (fb_idx == FB_NEXT_IN)
+        st = zfo ? amm_next_from_amount0(&out, &sp, &L, &amt, 1)
+                 : amm_next_from_amount1(&out, &sp, &L, &amt, 1);
+    else
+        st = zfo ? amm_next_from_amount1(&out, &sp, &L, &amt, 0)
+                 : amm_next_from_amount0(&out, &sp, &L, &amt, 0);
+    if (st)
+        return fb_call(fb_idx, args, kwargs);
+    return u_to_pylong(&out, 0);
+}
+
+static PyObject *c_get_next_sqrt_price_from_input(PyObject *self,
+                                                  PyObject *args,
+                                                  PyObject *kwargs)
+{
+    (void)self;
+    return c_next_price_common(FB_NEXT_IN, "amount_in", args, kwargs);
+}
+
+static PyObject *c_get_next_sqrt_price_from_output(PyObject *self,
+                                                   PyObject *args,
+                                                   PyObject *kwargs)
+{
+    (void)self;
+    return c_next_price_common(FB_NEXT_OUT, "amount_out", args, kwargs);
+}
+
+/* ------------------------------------------------------------------ */
+/* Exported swap-step function                                         */
+/* ------------------------------------------------------------------ */
+
+static PyObject *c_compute_swap_step_values(PyObject *self,
+                                            PyObject *const *args,
+                                            Py_ssize_t nargs)
+{
+    (void)self;
+    if (nargs != 5)
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    U cur, target, L, amt;
+    int ncur, ntarget, nl, namt, st;
+    if ((st = u_from_pylong(args[0], &cur, &ncur)) ||
+        (st = u_from_pylong(args[1], &target, &ntarget)) ||
+        (st = u_from_pylong(args[2], &L, &nl)) ||
+        (st = u_from_pylong(args[3], &amt, &namt))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    }
+    if (ncur || ntarget || nl)
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    if (!PyLong_Check(args[4]))
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    int ovf = 0;
+    long long fee = PyLong_AsLongLongAndOverflow(args[4], &ovf);
+    if (ovf || (fee == -1 && PyErr_Occurred())) {
+        PyErr_Clear();
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    }
+    if (fee < 0 || fee >= (long long)FEE_DENOM)
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    U out[4];
+    if (amm_swap_step(&cur, &target, &L, &amt, namt, (uint64_t)fee, out))
+        return fb_vectorcall(FB_STEP_VALUES, args, nargs);
+    PyObject *tup = PyTuple_New(4);
+    if (!tup)
+        return NULL;
+    for (int i = 0; i < 4; i++) {
+        PyObject *v = u_to_pylong(&out[i], 0);
+        if (!v) {
+            Py_DECREF(tup);
+            return NULL;
+        }
+        PyTuple_SET_ITEM(tup, i, v);
+    }
+    return tup;
+}
+
+/* ------------------------------------------------------------------ */
+/* Tick math                                                           */
+/* ------------------------------------------------------------------ */
+
+#define MIN_TICK (-887272)
+#define MAX_TICK 887272
+
+/* (x * m) >> 128 for u128 operands, exact (schoolbook 64-bit partials). */
+static u128 mulshift128(u128 x, u128 m)
+{
+    uint64_t x0 = (uint64_t)x, x1 = (uint64_t)(x >> 64);
+    uint64_t m0 = (uint64_t)m, m1 = (uint64_t)(m >> 64);
+    u128 p00 = (u128)x0 * m0;
+    u128 p01 = (u128)x0 * m1;
+    u128 p10 = (u128)x1 * m0;
+    u128 p11 = (u128)x1 * m1;
+    u128 mid = (p00 >> 64) + (uint64_t)p01 + (uint64_t)p10;
+    return p11 + (p01 >> 64) + (p10 >> 64) + (mid >> 64);
+}
+
+/* sqrt(1.0001)^(-bit) multipliers in Q128.128 (TickMath.sol ladder);
+ * entry i corresponds to bit (1 << (i + 1)). */
+static const u128 tick_mult[19] = {
+    U128C(0xFFF97272373D4132, 0x59A46990580E213A),
+    U128C(0xFFF2E50F5F656932, 0xEF12357CF3C7FDCC),
+    U128C(0xFFE5CACA7E10E4E6, 0x1C3624EAA0941CD0),
+    U128C(0xFFCB9843D60F6159, 0xC9DB58835C926644),
+    U128C(0xFF973B41FA98C081, 0x472E6896DFB254C0),
+    U128C(0xFF2EA16466C96A38, 0x43EC78B326B52861),
+    U128C(0xFE5DEE046A99A2A8, 0x11C461F1969C3053),
+    U128C(0xFCBE86C7900A88AE, 0xDCFFC83B479AA3A4),
+    U128C(0xF987A7253AC41317, 0x6F2B074CF7815E54),
+    U128C(0xF3392B0822B70005, 0x940C7A398E4B70F3),
+    U128C(0xE7159475A2C29B74, 0x43B29C7FA6E889D9),
+    U128C(0xD097F3BDFD2022B8, 0x845AD8F792AA5825),
+    U128C(0xA9F746462D870FDF, 0x8A65DC1F90E061E5),
+    U128C(0x70D869A156D2A1B8, 0x90BB3DF62BAF32F7),
+    U128C(0x31BE135F97D08FD9, 0x81231505542FCFA6),
+    U128C(0x09AA508B5B7A84E1, 0xC677DE54F3E99BC9),
+    U128C(0x005D6AF8DEDB8119, 0x6699C329225EE604),
+    U128C(0x00002216E584F5FA, 0x1EA926041BEDFE98),
+    U128C(0x00000000048A1703, 0x91F7DC42444E8FA2),
+};
+
+static const u128 tick_odd_start = U128C(0xFFFCB933BD6FAD37, 0xAA2D162D1A594001);
+
+/* _sqrt_ratio_at_tick for an in-range tick, into a U (result < 2^161). */
+static void sqrt_ratio_at_tick_u(int32_t tick, U *out)
+{
+    uint32_t abs_tick = tick < 0 ? (uint32_t)(-(int64_t)tick) : (uint32_t)tick;
+    u128 ratio = 0;
+    int started = 0;
+    if (abs_tick & 1) {
+        ratio = tick_odd_start;
+        started = 1;
+    }
+    /* even start is 2^128, one bit above u128: since (2^128 * m) >> 128
+     * == m, the first ladder multiplication just loads m directly. */
+    for (int i = 0; i < 19; i++) {
+        if (abs_tick & (2u << i)) {
+            if (!started) {
+                ratio = tick_mult[i];
+                started = 1;
+            } else {
+                ratio = mulshift128(ratio, tick_mult[i]);
+            }
+        }
+    }
+    U r;
+    if (!started) { /* tick == 0: ratio = 2^128 -> Q64.96 = 2^96 exactly */
+        u_zero(out);
+        out->w[3] = 1;
+        return;
+    }
+    if (tick > 0) { /* ratio = (2^256 - 1) // ratio */
+        U maxu, den;
+        for (int i = 0; i < 8; i++)
+            maxu.w[i] = 0xFFFFFFFFu;
+        for (int i = 8; i < NLIMBS; i++)
+            maxu.w[i] = 0;
+        u_from_u128(&den, ratio);
+        u_divmod(&r, NULL, &maxu, &den);
+    } else {
+        u_from_u128(&r, ratio);
+    }
+    /* Q128.128 -> Q64.96, rounding up */
+    uint32_t frac = r.w[0];
+    u_shr(out, &r, 32);
+    if (frac)
+        u_add_one(out);
+}
+
+/* Direct-mapped PyObject* cache over the 1,774,545-tick domain. */
+#define TICK_CACHE_SIZE 65536
+typedef struct {
+    int32_t tick;
+    PyObject *val; /* NULL = empty slot */
+} TickCacheEntry;
+static TickCacheEntry tick_cache[TICK_CACHE_SIZE];
+
+static PyObject *c_get_sqrt_ratio_at_tick(PyObject *self,
+                                          PyObject *const *args,
+                                          Py_ssize_t nargs)
+{
+    (void)self;
+    if (nargs != 1 || !PyLong_Check(args[0]))
+        return fb_vectorcall(FB_SQRT_AT_TICK, args, nargs);
+    int ovf = 0;
+    long long tick = PyLong_AsLongLongAndOverflow(args[0], &ovf);
+    if (tick == -1 && !ovf && PyErr_Occurred())
+        return NULL;
+    if (ovf || tick < MIN_TICK || tick > MAX_TICK)
+        return fb_vectorcall(FB_SQRT_AT_TICK, args, nargs); /* TickError */
+    uint32_t idx = ((uint32_t)(tick - MIN_TICK)) & (TICK_CACHE_SIZE - 1);
+    TickCacheEntry *e = &tick_cache[idx];
+    if (e->val && e->tick == (int32_t)tick)
+        return Py_NewRef(e->val);
+    U out;
+    sqrt_ratio_at_tick_u((int32_t)tick, &out);
+    PyObject *v = u_to_pylong(&out, 0);
+    if (!v)
+        return NULL;
+    Py_XDECREF(e->val);
+    e->tick = (int32_t)tick;
+    e->val = Py_NewRef(v);
+    return v;
+}
+
+/* 2^128-scaled constants from TickMath.getTickAtSqrtRatio. */
+static const u128 log_factor = U128C(0x3627, 0xA301D71055774C85);
+static const u128 tick_low_err = U128C(0x028F6481AB7F045A, 0x5AF012A19D003AAA);
+static const u128 tick_hi_err = U128C(0xDB2DF09E81959A81, 0x455E260799A0632F);
+static const U min_sqrt_ratio_u = {{0x000276A3u, 0x1u}};
+static const U max_sqrt_ratio_u = {
+    {0x63988D26u, 0x5D951D52u, 0x50648849u, 0xEFD1FC6Au, 0xFFFD8963u}};
+
+static int u_bit_length(const U *a)
+{
+    int n = u_nlimbs(a);
+    if (!n)
+        return 0;
+    return 32 * n - nlz32(a->w[n - 1]);
+}
+
+static PyObject *c_get_tick_at_sqrt_ratio(PyObject *self,
+                                          PyObject *const *args,
+                                          Py_ssize_t nargs)
+{
+    (void)self;
+    if (nargs != 1)
+        return fb_vectorcall(FB_TICK_AT_SQRT, args, nargs);
+    U sp;
+    int neg, st;
+    if ((st = u_from_pylong(args[0], &sp, &neg))) {
+        if (st == ST_ERROR)
+            return NULL;
+        return fb_vectorcall(FB_TICK_AT_SQRT, args, nargs);
+    }
+    if (neg || u_cmp(&sp, &min_sqrt_ratio_u) < 0 ||
+        u_cmp(&sp, &max_sqrt_ratio_u) >= 0)
+        return fb_vectorcall(FB_TICK_AT_SQRT, args, nargs); /* TickError */
+
+    U ratio;
+    u_shl(&ratio, &sp, 32); /* <= 193 bits, cannot overflow */
+    int msb = u_bit_length(&ratio) - 1;
+
+    /* normalise to r in [2^127, 2^128) */
+    U norm;
+    if (msb >= 128)
+        u_shr(&norm, &ratio, (unsigned)(msb - 127));
+    else
+        u_shl(&norm, &ratio, (unsigned)(127 - msb));
+    u128 r = 0;
+    for (int i = 3; i >= 0; i--)
+        r = (r << 32) | norm.w[i];
+
+    /* 14 fractional bits of log2 via repeated squaring; log_2 is a
+     * two's-complement Q64.64 held in a u128. */
+    u128 lg = (u128)(((i128)(msb - 128)) << 64);
+    for (int shift = 63; shift > 49; shift--) {
+        u128 s_hi = mulshift128(r, r); /* (r*r) >> 128 */
+        u128 s_lo = r * r;             /* low 128 bits */
+        u128 f = s_hi >> 127;          /* bit 128 of (r*r) >> 127 */
+        r = f ? s_hi : ((s_hi << 1) | (s_lo >> 127));
+        lg |= f << shift;
+    }
+
+    /* log_sqrt10001 = log_2 * factor, as 512-bit two's complement */
+    int lg_neg = (i128)lg < 0;
+    u128 mag = lg_neg ? (u128)(-(i128)lg) : lg;
+    u128 prod_hi = mulshift128(mag, log_factor);
+    u128 prod_lo = mag * log_factor;
+    U ls;
+    u_zero(&ls);
+    for (int i = 0; i < 4; i++) {
+        ls.w[i] = (uint32_t)(prod_lo >> (32 * i));
+        ls.w[i + 4] = (uint32_t)(prod_hi >> (32 * i));
+    }
+    if (lg_neg)
+        u_neg(&ls);
+
+    /* (ls +/- err) >> 128 arithmetic; the true tick fits in int64, so
+     * limbs 4..5 of the wrapped sum/difference are the answer. */
+    U low_e, hi_e, t;
+    u_from_u128(&low_e, tick_low_err);
+    u_from_u128(&hi_e, tick_hi_err);
+    u_sub(&t, &ls, &low_e); /* wrapping: two's complement */
+    int64_t tick_low =
+        (int64_t)((uint64_t)t.w[4] | ((uint64_t)t.w[5] << 32));
+    u_add(&t, &ls, &hi_e);
+    int64_t tick_hi =
+        (int64_t)((uint64_t)t.w[4] | ((uint64_t)t.w[5] << 32));
+
+    int64_t tick = tick_low;
+    if (tick_low != tick_hi) {
+        U at_hi;
+        sqrt_ratio_at_tick_u((int32_t)tick_hi, &at_hi);
+        if (u_cmp(&at_hi, &sp) <= 0)
+            tick = tick_hi;
+    }
+    return PyLong_FromLongLong(tick);
+}
+
+/* ------------------------------------------------------------------ */
+/* SHA3-256 (FIPS 202) — matches hashlib.sha3_256 byte for byte        */
+/* ------------------------------------------------------------------ */
+
+#define ROTL64(x, y) (((x) << (y)) | ((x) >> (64 - (y))))
+#define SHA3_RATE 136
+
+static void keccakf(uint64_t st[25])
+{
+    static const uint64_t rc[24] = {
+        0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808AULL,
+        0x8000000080008000ULL, 0x000000000000808BULL, 0x0000000080000001ULL,
+        0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008AULL,
+        0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000AULL,
+        0x000000008000808BULL, 0x800000000000008BULL, 0x8000000000008089ULL,
+        0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+        0x000000000000800AULL, 0x800000008000000AULL, 0x8000000080008081ULL,
+        0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+    };
+    static const int rotc[24] = {1,  3,  6,  10, 15, 21, 28, 36,
+                                 45, 55, 2,  14, 27, 41, 56, 8,
+                                 25, 43, 62, 18, 39, 61, 20, 44};
+    static const int piln[24] = {10, 7,  11, 17, 18, 3, 5,  16,
+                                 8,  21, 24, 4,  15, 23, 19, 13,
+                                 12, 2,  20, 14, 22, 9, 6,  1};
+    uint64_t t, bc[5];
+    for (int round = 0; round < 24; round++) {
+        for (int i = 0; i < 5; i++)
+            bc[i] = st[i] ^ st[i + 5] ^ st[i + 10] ^ st[i + 15] ^ st[i + 20];
+        for (int i = 0; i < 5; i++) {
+            t = bc[(i + 4) % 5] ^ ROTL64(bc[(i + 1) % 5], 1);
+            for (int j = 0; j < 25; j += 5)
+                st[j + i] ^= t;
+        }
+        t = st[1];
+        for (int i = 0; i < 24; i++) {
+            int j = piln[i];
+            bc[0] = st[j];
+            st[j] = ROTL64(t, rotc[i]);
+            t = bc[0];
+        }
+        for (int j = 0; j < 25; j += 5) {
+            for (int i = 0; i < 5; i++)
+                bc[i] = st[j + i];
+            for (int i = 0; i < 5; i++)
+                st[j + i] ^= (~bc[(i + 1) % 5]) & bc[(i + 2) % 5];
+        }
+        st[0] ^= rc[round];
+    }
+}
+
+/* Byte-granular absorb into the little-endian lane image of the state.
+ * (CPython only builds this extension on little-endian targets we care
+ * about; the parity test against hashlib would catch a BE mismatch.) */
+typedef struct {
+    uint64_t st[25];
+    int pos;
+} sha3ctx;
+
+static void sha3_init(sha3ctx *c)
+{
+    memset(c, 0, sizeof(*c));
+}
+
+static void sha3_update(sha3ctx *c, const unsigned char *data, size_t len)
+{
+    unsigned char *sb = (unsigned char *)c->st;
+    while (len--) {
+        sb[c->pos++] ^= *data++;
+        if (c->pos == SHA3_RATE) {
+            keccakf(c->st);
+            c->pos = 0;
+        }
+    }
+}
+
+static void sha3_final(sha3ctx *c, unsigned char out[32])
+{
+    unsigned char *sb = (unsigned char *)c->st;
+    sb[c->pos] ^= 0x06;
+    sb[SHA3_RATE - 1] ^= 0x80;
+    keccakf(c->st);
+    memcpy(out, sb, 32);
+}
+
+/* keccak256(*parts) with hashing.py's part encoding: each part becomes
+ * a 4-byte big-endian length prefix plus its payload bytes. */
+static PyObject *c_keccak256(PyObject *self, PyObject *const *args,
+                             Py_ssize_t nargs)
+{
+    (void)self;
+    sha3ctx ctx;
+    sha3_init(&ctx);
+    unsigned char lenbuf[4];
+    for (Py_ssize_t i = 0; i < nargs; i++) {
+        PyObject *part = args[i];
+        const unsigned char *data = NULL;
+        size_t len = 0;
+        unsigned char intbuf[33];
+        PyObject *owned = NULL;
+        if (PyBytes_Check(part)) {
+            data = (const unsigned char *)PyBytes_AS_STRING(part);
+            len = (size_t)PyBytes_GET_SIZE(part);
+        } else if (PyUnicode_Check(part)) {
+            Py_ssize_t sz = 0;
+            const char *s = PyUnicode_AsUTF8AndSize(part, &sz);
+            if (!s)
+                return NULL; /* same UnicodeEncodeError as .encode("utf-8") */
+            data = (const unsigned char *)s;
+            len = (size_t)sz;
+        } else if (PyLong_Check(part)) {
+            int ovf = 0;
+            long long v = PyLong_AsLongLongAndOverflow(part, &ovf);
+            if (v == -1 && !ovf && PyErr_Occurred())
+                return NULL;
+            if (!ovf && v >= 0) {
+                /* '+' then max(32, nbytes) BE magnitude == 32 for v < 2^63 */
+                intbuf[0] = '+';
+                memset(intbuf + 1, 0, 24);
+                for (int b = 24; b < 32; b++)
+                    intbuf[1 + b] =
+                        (unsigned char)((uint64_t)v >> (8 * (31 - b)));
+                data = intbuf;
+                len = 33;
+            } else {
+                owned = fb_vectorcall(FB_TO_BYTES, &part, 1);
+                if (!owned)
+                    return NULL;
+                data = (const unsigned char *)PyBytes_AS_STRING(owned);
+                len = (size_t)PyBytes_GET_SIZE(owned);
+            }
+        } else {
+            /* pure _to_bytes raises the exact TypeError */
+            owned = fb_vectorcall(FB_TO_BYTES, &part, 1);
+            if (!owned)
+                return NULL;
+            if (!PyBytes_Check(owned)) {
+                Py_DECREF(owned);
+                PyErr_SetString(PyExc_TypeError,
+                                "to_bytes fallback must return bytes");
+                return NULL;
+            }
+            data = (const unsigned char *)PyBytes_AS_STRING(owned);
+            len = (size_t)PyBytes_GET_SIZE(owned);
+        }
+        lenbuf[0] = (unsigned char)(len >> 24);
+        lenbuf[1] = (unsigned char)(len >> 16);
+        lenbuf[2] = (unsigned char)(len >> 8);
+        lenbuf[3] = (unsigned char)len;
+        sha3_update(&ctx, lenbuf, 4);
+        sha3_update(&ctx, data, len);
+        Py_XDECREF(owned);
+    }
+    unsigned char digest[32];
+    sha3_final(&ctx, digest);
+    return PyBytes_FromStringAndSize((const char *)digest, 32);
+}
+
+/* ------------------------------------------------------------------ */
+/* Module plumbing                                                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *c_install(PyObject *self, PyObject *arg)
+{
+    (void)self;
+    if (!PyDict_Check(arg)) {
+        PyErr_SetString(PyExc_TypeError, "_install expects a dict");
+        return NULL;
+    }
+    /* Partial installs are allowed: backend.py registers the math
+     * fallbacks at import time, crypto/hashing.py registers the keccak
+     * ones later (a single dict would force an import cycle). */
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    while (PyDict_Next(arg, &pos, &key, &value)) {
+        const char *name = PyUnicode_AsUTF8(key);
+        if (!name)
+            return NULL;
+        int found = 0;
+        for (int i = 0; i < FB_COUNT; i++) {
+            if (strcmp(name, fb_names[i]) == 0) {
+                Py_INCREF(value);
+                Py_XSETREF(fallbacks[i], value);
+                found = 1;
+                break;
+            }
+        }
+        if (!found) {
+            PyErr_Format(PyExc_KeyError,
+                         "_install: unknown fallback name %s", name);
+            return NULL;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef compiled_methods[] = {
+    {"mul_div", (PyCFunction)(void (*)(void))c_mul_div, METH_FASTCALL,
+     "Floor of a * b / denominator (compiled FullMath.mulDiv)."},
+    {"mul_div_rounding_up",
+     (PyCFunction)(void (*)(void))c_mul_div_rounding_up, METH_FASTCALL,
+     "Ceiling of a * b / denominator (compiled)."},
+    {"div_rounding_up", (PyCFunction)(void (*)(void))c_div_rounding_up,
+     METH_FASTCALL, "Ceiling of a / denominator (compiled)."},
+    {"get_amount0_delta", (PyCFunction)(void (*)(void))c_get_amount0_delta,
+     METH_VARARGS | METH_KEYWORDS, "Compiled SqrtPriceMath.getAmount0Delta."},
+    {"get_amount1_delta", (PyCFunction)(void (*)(void))c_get_amount1_delta,
+     METH_VARARGS | METH_KEYWORDS, "Compiled SqrtPriceMath.getAmount1Delta."},
+    {"get_next_sqrt_price_from_input",
+     (PyCFunction)(void (*)(void))c_get_next_sqrt_price_from_input,
+     METH_VARARGS | METH_KEYWORDS,
+     "Compiled SqrtPriceMath.getNextSqrtPriceFromInput."},
+    {"get_next_sqrt_price_from_output",
+     (PyCFunction)(void (*)(void))c_get_next_sqrt_price_from_output,
+     METH_VARARGS | METH_KEYWORDS,
+     "Compiled SqrtPriceMath.getNextSqrtPriceFromOutput."},
+    {"compute_swap_step_values",
+     (PyCFunction)(void (*)(void))c_compute_swap_step_values, METH_FASTCALL,
+     "Compiled SwapMath.computeSwapStep returning a 4-tuple."},
+    {"get_sqrt_ratio_at_tick",
+     (PyCFunction)(void (*)(void))c_get_sqrt_ratio_at_tick, METH_FASTCALL,
+     "Compiled TickMath.getSqrtRatioAtTick with a direct-mapped cache."},
+    {"get_tick_at_sqrt_ratio",
+     (PyCFunction)(void (*)(void))c_get_tick_at_sqrt_ratio, METH_FASTCALL,
+     "Compiled TickMath.getTickAtSqrtRatio (log2 bit-twiddling port)."},
+    {"keccak256", (PyCFunction)(void (*)(void))c_keccak256, METH_FASTCALL,
+     "Compiled keccak256 over length-prefixed parts (SHA3-256)."},
+    {"_install", c_install, METH_O,
+     "Install the dict of pure-Python fallback callables."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef compiled_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._compiled",
+    "Compiled backend for repro.amm math and repro.crypto.hashing.keccak256.\n"
+    "Selected via REPRO_BACKEND=compiled; see repro.amm.backend.",
+    -1,
+    compiled_methods,
+    NULL,
+    NULL,
+    NULL,
+    NULL,
+};
+
+PyMODINIT_FUNC PyInit__compiled(void)
+{
+    PyObject *m = PyModule_Create(&compiled_module);
+    if (!m)
+        return NULL;
+    if (PyModule_AddStringConstant(m, "BACKEND", "compiled") < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

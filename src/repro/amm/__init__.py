@@ -11,14 +11,19 @@ executor (:mod:`repro.core.executor`), exactly as Section IV-B requires
 just migrates that to the sidechain").
 """
 
-from repro.amm.fixed_point import Q96, Q128, mul_div, mul_div_rounding_up
-from repro.amm.tick_math import (
+# Math names are re-exported from the dispatch shim so they resolve to
+# the backend selected by REPRO_BACKEND (pure by default; see backend.py).
+from repro.amm.backend import (
     MAX_SQRT_RATIO,
     MAX_TICK,
     MIN_SQRT_RATIO,
     MIN_TICK,
+    Q96,
+    Q128,
     get_sqrt_ratio_at_tick,
     get_tick_at_sqrt_ratio,
+    mul_div,
+    mul_div_rounding_up,
 )
 from repro.amm.pool import Pool, PoolConfig, PoolSnapshot, SwapResult
 from repro.amm.position import PositionKey

@@ -8,7 +8,7 @@ token types" (Section IV-B, mint processing).
 
 from __future__ import annotations
 
-from repro.amm.fixed_point import Q96, mul_div
+from repro.amm.backend import Q96, mul_div
 from repro.errors import LiquidityError
 
 

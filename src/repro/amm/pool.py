@@ -12,8 +12,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.amm import liquidity_math, sqrt_price_math, swap_math, tick_math
-from repro.amm.fixed_point import Q128, mul_div
+from repro.amm import backend, liquidity_math
+from repro.amm.backend import Q128, mul_div
 from repro.amm.oracle import Oracle
 from repro.amm.position import PositionInfo, PositionKey
 from repro.amm.tick import TickInfo, TickTable
@@ -244,17 +244,17 @@ class SwapBatch:
         sqrt_price = self._sqrt_price
         if sqrt_price_limit_x96 is None:
             sqrt_price_limit_x96 = (
-                tick_math.MIN_SQRT_RATIO + 1
+                backend.MIN_SQRT_RATIO + 1
                 if zero_for_one
-                else tick_math.MAX_SQRT_RATIO - 1
+                else backend.MAX_SQRT_RATIO - 1
             )
         if zero_for_one:
-            if not (tick_math.MIN_SQRT_RATIO < sqrt_price_limit_x96 < sqrt_price):
+            if not (backend.MIN_SQRT_RATIO < sqrt_price_limit_x96 < sqrt_price):
                 raise SlippageError(
                     f"price limit {sqrt_price_limit_x96} invalid for zero-for-one"
                 )
         else:
-            if not (sqrt_price < sqrt_price_limit_x96 < tick_math.MAX_SQRT_RATIO):
+            if not (sqrt_price < sqrt_price_limit_x96 < backend.MAX_SQRT_RATIO):
                 raise SlippageError(
                     f"price limit {sqrt_price_limit_x96} invalid for one-for-zero"
                 )
@@ -280,10 +280,10 @@ class SwapBatch:
         lo = self._lo
         overlay = self._overlay
         tick_records = self.pool.ticks.ticks
-        sqrt_at = tick_math._sqrt_ratio_at_tick
-        step_values = swap_math.compute_swap_step_values
+        sqrt_at = backend.sqrt_ratio_at_tick_unchecked
+        step_values = backend.compute_swap_step_values
         fee_pips = self.pool.config.fee_pips
-        min_tick, max_tick = tick_math.MIN_TICK, tick_math.MAX_TICK
+        min_tick, max_tick = backend.MIN_TICK, backend.MAX_TICK
         add_delta = liquidity_math.add_delta
 
         while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
@@ -438,7 +438,7 @@ class SwapBatch:
         pool.tick = (
             self._tick
             if self._tick_known
-            else tick_math.get_tick_at_sqrt_ratio(self._sqrt_price)
+            else backend.get_tick_at_sqrt_ratio(self._sqrt_price)
         )
         pool.liquidity = self._liquidity
         pool.fee_growth_global0_x128 = self._fg0
@@ -474,10 +474,10 @@ class Pool:
         """Set the starting price; must be called exactly once."""
         if self.initialized:
             raise AMMError("pool already initialized")
-        if not (tick_math.MIN_SQRT_RATIO <= sqrt_price_x96 < tick_math.MAX_SQRT_RATIO):
+        if not (backend.MIN_SQRT_RATIO <= sqrt_price_x96 < backend.MAX_SQRT_RATIO):
             raise AMMError(f"initial sqrt price {sqrt_price_x96} out of range")
         self.sqrt_price_x96 = sqrt_price_x96
-        self.tick = tick_math.get_tick_at_sqrt_ratio(sqrt_price_x96)
+        self.tick = backend.get_tick_at_sqrt_ratio(sqrt_price_x96)
         self.initialized = True
         self._state_version += 1
         self.oracle.initialize(timestamp=0.0)
@@ -563,7 +563,7 @@ class Pool:
     def _modify_position(
         self, owner: str, tick_lower: int, tick_upper: int, liquidity_delta: int
     ) -> tuple[PositionInfo, int, int]:
-        tick_math.check_tick_range(tick_lower, tick_upper)
+        backend.check_tick_range(tick_lower, tick_upper)
         self.ticks.check_spacing(tick_lower)
         self.ticks.check_spacing(tick_upper)
         position = self._update_position(owner, tick_lower, tick_upper, liquidity_delta)
@@ -571,19 +571,19 @@ class Pool:
         amount0 = amount1 = 0
         if liquidity_delta != 0:
             if self.tick < tick_lower:
-                amount0 = sqrt_price_math.get_amount0_delta_signed(
-                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
-                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                amount0 = backend.get_amount0_delta_signed(
+                    backend.get_sqrt_ratio_at_tick(tick_lower),
+                    backend.get_sqrt_ratio_at_tick(tick_upper),
                     liquidity_delta,
                 )
             elif self.tick < tick_upper:
-                amount0 = sqrt_price_math.get_amount0_delta_signed(
+                amount0 = backend.get_amount0_delta_signed(
                     self.sqrt_price_x96,
-                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                    backend.get_sqrt_ratio_at_tick(tick_upper),
                     liquidity_delta,
                 )
-                amount1 = sqrt_price_math.get_amount1_delta_signed(
-                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
+                amount1 = backend.get_amount1_delta_signed(
+                    backend.get_sqrt_ratio_at_tick(tick_lower),
                     self.sqrt_price_x96,
                     liquidity_delta,
                 )
@@ -591,9 +591,9 @@ class Pool:
                     self.liquidity, liquidity_delta
                 )
             else:
-                amount1 = sqrt_price_math.get_amount1_delta_signed(
-                    tick_math.get_sqrt_ratio_at_tick(tick_lower),
-                    tick_math.get_sqrt_ratio_at_tick(tick_upper),
+                amount1 = backend.get_amount1_delta_signed(
+                    backend.get_sqrt_ratio_at_tick(tick_lower),
+                    backend.get_sqrt_ratio_at_tick(tick_upper),
                     liquidity_delta,
                 )
         return position, amount0, amount1
@@ -687,20 +687,20 @@ class Pool:
             raise AMMError("swap amount must be non-zero")
         if sqrt_price_limit_x96 is None:
             sqrt_price_limit_x96 = (
-                tick_math.MIN_SQRT_RATIO + 1
+                backend.MIN_SQRT_RATIO + 1
                 if zero_for_one
-                else tick_math.MAX_SQRT_RATIO - 1
+                else backend.MAX_SQRT_RATIO - 1
             )
         if zero_for_one:
             if not (
-                tick_math.MIN_SQRT_RATIO < sqrt_price_limit_x96 < self.sqrt_price_x96
+                backend.MIN_SQRT_RATIO < sqrt_price_limit_x96 < self.sqrt_price_x96
             ):
                 raise SlippageError(
                     f"price limit {sqrt_price_limit_x96} invalid for zero-for-one"
                 )
         else:
             if not (
-                self.sqrt_price_x96 < sqrt_price_limit_x96 < tick_math.MAX_SQRT_RATIO
+                self.sqrt_price_x96 < sqrt_price_limit_x96 < backend.MAX_SQRT_RATIO
             ):
                 raise SlippageError(
                     f"price limit {sqrt_price_limit_x96} invalid for one-for-zero"
@@ -726,11 +726,11 @@ class Pool:
         # lookup is safe; the MIN/MAX fallbacks are in range by definition.
         next_tick = self.ticks.next_initialized_tick
         tick_records = self.ticks.ticks
-        sqrt_at = tick_math._sqrt_ratio_at_tick
-        tick_at = tick_math.get_tick_at_sqrt_ratio
-        step_values = swap_math.compute_swap_step_values
+        sqrt_at = backend.sqrt_ratio_at_tick_unchecked
+        tick_at = backend.get_tick_at_sqrt_ratio
+        step_values = backend.compute_swap_step_values
         fee_pips = self.config.fee_pips
-        min_tick, max_tick = tick_math.MIN_TICK, tick_math.MAX_TICK
+        min_tick, max_tick = backend.MIN_TICK, backend.MAX_TICK
 
         while amount_remaining != 0 and sqrt_price != sqrt_price_limit_x96:
             step_start_price = sqrt_price
@@ -863,11 +863,11 @@ class Pool:
             raise FlashLoanError("flash amounts must be non-negative")
         if amount0 > self.balance0 or amount1 > self.balance1:
             raise FlashLoanError("flash amount exceeds pool reserves")
-        fee0 = swap_math.mul_div_rounding_up(
-            amount0, self.config.fee_pips, swap_math.FEE_PIPS_DENOMINATOR
+        fee0 = backend.mul_div_rounding_up(
+            amount0, self.config.fee_pips, backend.FEE_PIPS_DENOMINATOR
         )
-        fee1 = swap_math.mul_div_rounding_up(
-            amount1, self.config.fee_pips, swap_math.FEE_PIPS_DENOMINATOR
+        fee1 = backend.mul_div_rounding_up(
+            amount1, self.config.fee_pips, backend.FEE_PIPS_DENOMINATOR
         )
         paid0, paid1 = callback(fee0, fee1)
         if paid0 < amount0 + fee0 or paid1 < amount1 + fee1:

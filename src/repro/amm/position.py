@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import NamedTuple
 
-from repro.amm.fixed_point import Q128, mul_div
+from repro.amm.backend import Q128, mul_div
 from repro.errors import LiquidityError, PositionError
 
 

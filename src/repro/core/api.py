@@ -26,7 +26,7 @@ from repro.core.transactions import (
 from repro.crypto.hashing import keccak256
 from repro.crypto.keys import KeyPair, generate_keypair
 from repro.crypto.vrf import VrfKeyPair, vrf_keygen
-from repro.amm import tick_math
+from repro.amm import backend
 from repro.errors import ConfigurationError
 from repro.sidechain.blocks import MetaBlock, SummaryBlock
 from repro.sidechain.chain import SidechainLedger
@@ -134,7 +134,7 @@ def verify_tx(tx: Any) -> bool:
             return False
         if tx.position_id is None:
             try:
-                tick_math.check_tick_range(tx.tick_lower, tx.tick_upper)
+                backend.check_tick_range(tx.tick_lower, tx.tick_upper)
             except Exception:
                 return False
         return True

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.amm import liquidity_math, sqrt_price_math, tick_math
+from repro.amm import backend, liquidity_math
 from repro.amm.pool import Pool
 from repro.core.transactions import (
     BurnTx,
@@ -264,11 +264,11 @@ class SidechainExecutor:
             tick_lower, tick_upper = record.tick_lower, record.tick_upper
         else:
             record = None
-            tick_math.check_tick_range(tx.tick_lower, tx.tick_upper)
+            backend.check_tick_range(tx.tick_lower, tx.tick_upper)
             tick_lower, tick_upper = tx.tick_lower, tx.tick_upper
 
-        sqrt_lower = tick_math.get_sqrt_ratio_at_tick(tick_lower)
-        sqrt_upper = tick_math.get_sqrt_ratio_at_tick(tick_upper)
+        sqrt_lower = backend.get_sqrt_ratio_at_tick(tick_lower)
+        sqrt_upper = backend.get_sqrt_ratio_at_tick(tick_upper)
         liquidity = liquidity_math.get_liquidity_for_amounts(
             self.pool.sqrt_price_x96,
             sqrt_lower,
@@ -432,20 +432,20 @@ class SidechainExecutor:
         """Token amounts the pool will charge for minting ``liquidity``."""
         price = self.pool.sqrt_price_x96
         if price < sqrt_lower:
-            amount0 = sqrt_price_math.get_amount0_delta_signed(
+            amount0 = backend.get_amount0_delta_signed(
                 sqrt_lower, sqrt_upper, liquidity
             )
             amount1 = 0
         elif price < sqrt_upper:
-            amount0 = sqrt_price_math.get_amount0_delta_signed(
+            amount0 = backend.get_amount0_delta_signed(
                 price, sqrt_upper, liquidity
             )
-            amount1 = sqrt_price_math.get_amount1_delta_signed(
+            amount1 = backend.get_amount1_delta_signed(
                 sqrt_lower, price, liquidity
             )
         else:
             amount0 = 0
-            amount1 = sqrt_price_math.get_amount1_delta_signed(
+            amount1 = backend.get_amount1_delta_signed(
                 sqrt_lower, sqrt_upper, liquidity
             )
         return amount0, amount1

@@ -101,11 +101,28 @@ def elect_and_key(system, epoch: int):
 
 
 class CommitteeHandoverPhase(EpochPhase):
-    """Elect + key epoch ``e + 1`` and certify the hand-over (IV-C)."""
+    """Elect + key epoch ``e + 1`` and certify the hand-over (IV-C).
+
+    With ``committee_reuse_epochs`` > 1 the election/DKG output is
+    amortized: the sitting committee is carried into epoch ``e + 1``
+    (same members, same group key, so no hand-over certificate is needed
+    — the TokenBank's chain-of-custody verification starts from its
+    stored key and an unchanged key verifies with an empty chain) and a
+    fresh election + DKG + certified hand-over happens only at window
+    boundaries.  The default window of 1 re-keys every epoch, which is
+    byte-identical to the original pipeline: ``elect_and_key`` draws the
+    DKG randomness from the ``dkg{epoch}`` named substream, so skipped
+    epochs do not shift any other consumer of the system RNG.
+    """
 
     def run(self, system, ctx: EpochContext) -> None:
         committee, auth = system._committee, system._auth
         assert committee is not None and auth is not None
+        if (ctx.epoch + 1) % system.config.committee_reuse_epochs != 0:
+            # Inside the reuse window: carry the committee and its keys
+            # forward; the boundary rotation then installs them as-is.
+            system._next_committee, system._next_auth = committee, auth
+            return
         next_committee, next_auth = elect_and_key(system, ctx.epoch + 1)
         signers = committee.members[: auth.threshold]
         system._handover_certs[ctx.epoch + 1] = auth.certify_handover(

@@ -95,6 +95,13 @@ class AmmBoostConfig:
     fail_sync_epochs: set[int] = field(default_factory=set)
     #: Remark-3 extension: wrap synced positions in transferable NFTs.
     enable_nft_positions: bool = False
+    #: Reuse the elected committee and its DKG keys for this many epochs
+    #: before re-keying.  1 (the default) re-keys at every boundary —
+    #: byte-identical to the original per-epoch election/DKG pipeline.
+    #: Larger windows amortize the sortition + DKG cost across the
+    #: window; the TokenBank still verifies every sync because a sync
+    #: signed under an unchanged group key needs no hand-over chain.
+    committee_reuse_epochs: int = 1
     #: Cap on drain epochs after traffic stops (guards runaway runs).
     max_drain_epochs: int = 2000
     #: Seed for the user population only (default: ``seed``).  A sharded
@@ -124,6 +131,8 @@ class AmmBoostConfig:
             self.miner_population = max(2 * self.committee_size, 16)
         if self.miner_population < self.committee_size:
             raise ConfigurationError("miner population smaller than committee")
+        if self.committee_reuse_epochs < 1:
+            raise ConfigurationError("committee_reuse_epochs must be >= 1")
 
 
 @dataclass

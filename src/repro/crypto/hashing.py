@@ -11,12 +11,17 @@ from __future__ import annotations
 import hashlib
 
 
-def keccak256(*parts: bytes | str | int) -> bytes:
+def _keccak256_pure(*parts: bytes | str | int) -> bytes:
     """Hash the concatenation of ``parts`` to 32 bytes.
 
     Accepts bytes, strings (UTF-8 encoded) and non-negative ints (32-byte
     big-endian encoded) for convenience; each part is length-prefixed so the
     encoding is unambiguous.
+
+    This is the pure reference implementation; the public ``keccak256``
+    name is resolved through :mod:`repro.amm.backend` at the bottom of
+    this module so ``REPRO_BACKEND=compiled`` can swap in the C version
+    (which treats this function as its edge-case fallback).
     """
     h = hashlib.sha3_256()
     for part in parts:
@@ -51,3 +56,10 @@ def _to_bytes(part: bytes | str | int) -> bytes:
         length = max(32, (magnitude.bit_length() + 7) // 8)
         return sign + magnitude.to_bytes(length, "big")
     raise TypeError(f"cannot hash value of type {type(part).__name__}")
+
+
+# Resolved last so the amm package (which never imports repro.crypto)
+# can finish initialising the dispatch shim first.
+from repro.amm.backend import resolve_keccak256 as _resolve_keccak256  # noqa: E402
+
+keccak256 = _resolve_keccak256(_keccak256_pure, _to_bytes)

@@ -16,7 +16,7 @@ from repro import constants
 from repro.amm.pool import Pool, PoolConfig
 from repro.amm.quoter import quote_swap
 from repro.amm.router import Router
-from repro.amm import liquidity_math, tick_math
+from repro.amm import backend, liquidity_math
 from repro.errors import RevertError
 from repro.mainchain.contracts.base import CallContext, Contract
 
@@ -110,11 +110,11 @@ class PositionManager(Contract):
         amount1_desired: int,
     ) -> tuple[int, int, int]:
         """Create a position; returns (token_id, amount0, amount1)."""
-        tick_math.check_tick_range(tick_lower, tick_upper)
+        backend.check_tick_range(tick_lower, tick_upper)
         liquidity = liquidity_math.get_liquidity_for_amounts(
             self.pool.sqrt_price_x96,
-            tick_math.get_sqrt_ratio_at_tick(tick_lower),
-            tick_math.get_sqrt_ratio_at_tick(tick_upper),
+            backend.get_sqrt_ratio_at_tick(tick_lower),
+            backend.get_sqrt_ratio_at_tick(tick_upper),
             amount0_desired,
             amount1_desired,
         )

@@ -1,0 +1,323 @@
+"""Property tests: the compiled backend is indistinguishable from pure.
+
+``repro._compiled`` (the optional C extension behind
+``REPRO_BACKEND=compiled``) must agree with the pure-Python reference on
+every input — results bit-for-bit, and error paths down to the exception
+type *and message* (the extension re-invokes the installed pure function
+for every out-of-domain or error case, so message parity is by
+construction; these tests keep that contract honest).
+
+The whole module is skipped when the extension is not built (local
+checkouts without a compiler).  CI's ``backend-parity`` job builds it and
+runs this suite for real on 3.11 and 3.12.
+
+The extension is imported directly and its pure fallbacks installed
+in-process, so the suite exercises the compiled paths regardless of what
+``REPRO_BACKEND`` says — under ``REPRO_BACKEND=compiled`` this repeats
+the installation :mod:`repro.amm.backend` already did, which is
+idempotent.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amm import fixed_point, sqrt_price_math, swap_math, tick_math
+from repro.crypto import hashing
+
+_compiled = pytest.importorskip(
+    "repro._compiled",
+    reason="compiled backend not built (pip install -e .[compiled])",
+)
+
+_compiled._install(
+    {
+        "mul_div": fixed_point.mul_div,
+        "mul_div_rounding_up": fixed_point.mul_div_rounding_up,
+        "div_rounding_up": fixed_point.div_rounding_up,
+        "get_amount0_delta": sqrt_price_math.get_amount0_delta,
+        "get_amount1_delta": sqrt_price_math.get_amount1_delta,
+        "get_next_sqrt_price_from_input": (
+            sqrt_price_math.get_next_sqrt_price_from_input
+        ),
+        "get_next_sqrt_price_from_output": (
+            sqrt_price_math.get_next_sqrt_price_from_output
+        ),
+        "compute_swap_step_values": swap_math.compute_swap_step_values,
+        "get_sqrt_ratio_at_tick": tick_math.get_sqrt_ratio_at_tick,
+        "get_tick_at_sqrt_ratio": tick_math.get_tick_at_sqrt_ratio,
+        # The pure keccak, NOT hashing.keccak256: under
+        # REPRO_BACKEND=compiled the public name *is* the C function and
+        # installing it as its own fallback would recurse.
+        "keccak256": hashing._keccak256_pure,
+        "to_bytes": hashing._to_bytes,
+    }
+)
+
+
+def outcome(fn, *args, **kwargs):
+    """Result, or (exception type, exception message) — for exact parity."""
+    try:
+        return ("ok", fn(*args, **kwargs))
+    except Exception as exc:  # noqa: BLE001 - parity includes *any* error
+        return ("raised", type(exc), str(exc))
+
+
+def assert_parity(compiled_fn, pure_fn, *args, **kwargs):
+    assert outcome(compiled_fn, *args, **kwargs) == outcome(
+        pure_fn, *args, **kwargs
+    ), f"backend divergence on args={args!r} kwargs={kwargs!r}"
+
+
+ticks = st.integers(tick_math.MIN_TICK, tick_math.MAX_TICK)
+#: Includes out-of-range ticks so the error path is exercised too.
+ticks_wide = st.integers(tick_math.MIN_TICK - 1000, tick_math.MAX_TICK + 1000)
+sqrt_ratios = st.integers(
+    tick_math.MIN_SQRT_RATIO, tick_math.MAX_SQRT_RATIO - 1
+)
+sqrt_ratios_wide = st.integers(0, tick_math.MAX_SQRT_RATIO + 1000)
+uint128 = st.integers(0, fixed_point.MAX_UINT128)
+uint160 = st.integers(0, fixed_point.MAX_UINT160)
+#: Beyond 512 bits in both signs: the C bignum tops out at u512 and must
+#: delegate larger magnitudes (and all negatives) to the pure fallback.
+huge_ints = st.integers(-(1 << 520), 1 << 520)
+int256 = st.integers(-(1 << 255), (1 << 255) - 1)
+
+
+# -- tick math -----------------------------------------------------------------
+
+
+def test_sqrt_ratio_parity_full_tick_domain_sweep():
+    """Strided sweep across the whole tick domain plus both endpoints."""
+    for tick in range(tick_math.MIN_TICK, tick_math.MAX_TICK + 1, 911):
+        assert _compiled.get_sqrt_ratio_at_tick(
+            tick
+        ) == tick_math.get_sqrt_ratio_at_tick(tick)
+    for tick in (tick_math.MIN_TICK, -1, 0, 1, tick_math.MAX_TICK):
+        assert _compiled.get_sqrt_ratio_at_tick(
+            tick
+        ) == tick_math.get_sqrt_ratio_at_tick(tick)
+
+
+@given(ticks_wide)
+@settings(max_examples=300, deadline=None)
+def test_sqrt_ratio_parity_including_errors(tick):
+    assert_parity(
+        _compiled.get_sqrt_ratio_at_tick, tick_math.get_sqrt_ratio_at_tick, tick
+    )
+
+
+def test_tick_domain_endpoint_errors_match_exactly():
+    for tick in (tick_math.MIN_TICK - 1, tick_math.MAX_TICK + 1, 10**9):
+        assert_parity(
+            _compiled.get_sqrt_ratio_at_tick,
+            tick_math.get_sqrt_ratio_at_tick,
+            tick,
+        )
+    for ratio in (
+        0,
+        tick_math.MIN_SQRT_RATIO - 1,
+        tick_math.MAX_SQRT_RATIO,
+        tick_math.MAX_SQRT_RATIO + 1,
+        -5,
+    ):
+        assert_parity(
+            _compiled.get_tick_at_sqrt_ratio,
+            tick_math.get_tick_at_sqrt_ratio,
+            ratio,
+        )
+
+
+@given(ticks)
+@settings(max_examples=300, deadline=None)
+def test_inverse_roundtrip_parity(tick):
+    """Inverse agrees at the exact ratio and one ulp either side."""
+    ratio = tick_math.get_sqrt_ratio_at_tick(tick)
+    for probe in (ratio - 1, ratio, ratio + 1):
+        if tick_math.MIN_SQRT_RATIO <= probe < tick_math.MAX_SQRT_RATIO:
+            assert _compiled.get_tick_at_sqrt_ratio(
+                probe
+            ) == tick_math.get_tick_at_sqrt_ratio(probe)
+
+
+@given(sqrt_ratios_wide)
+@settings(max_examples=300, deadline=None)
+def test_inverse_parity_random_ratios(ratio):
+    assert_parity(
+        _compiled.get_tick_at_sqrt_ratio,
+        tick_math.get_tick_at_sqrt_ratio,
+        ratio,
+    )
+
+
+# -- fixed point ---------------------------------------------------------------
+
+
+@given(huge_ints, huge_ints, huge_ints)
+@settings(max_examples=300, deadline=None)
+def test_mul_div_trio_parity(a, b, denominator):
+    assert_parity(_compiled.mul_div, fixed_point.mul_div, a, b, denominator)
+    assert_parity(
+        _compiled.mul_div_rounding_up,
+        fixed_point.mul_div_rounding_up,
+        a,
+        b,
+        denominator,
+    )
+    assert_parity(
+        _compiled.div_rounding_up, fixed_point.div_rounding_up, a, denominator
+    )
+
+
+def test_mul_div_zero_denominator_error_parity():
+    assert_parity(_compiled.mul_div, fixed_point.mul_div, 1, 2, 0)
+    assert_parity(
+        _compiled.mul_div_rounding_up, fixed_point.mul_div_rounding_up, 1, 2, 0
+    )
+    assert_parity(
+        _compiled.div_rounding_up, fixed_point.div_rounding_up, 1, 0
+    )
+
+
+# -- sqrt price math -----------------------------------------------------------
+
+
+@given(uint160, uint160, uint128, st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_amount_delta_parity_both_roundings(ratio_a, ratio_b, liquidity, up):
+    assert_parity(
+        _compiled.get_amount0_delta,
+        sqrt_price_math.get_amount0_delta,
+        ratio_a,
+        ratio_b,
+        liquidity,
+        round_up=up,
+    )
+    assert_parity(
+        _compiled.get_amount1_delta,
+        sqrt_price_math.get_amount1_delta,
+        ratio_a,
+        ratio_b,
+        liquidity,
+        round_up=up,
+    )
+
+
+@given(uint160, uint128, st.integers(0, 1 << 200), st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_next_sqrt_price_parity(price, liquidity, amount, zero_for_one):
+    """Covers success and error paths (zero price/liquidity, overdrain)."""
+    assert_parity(
+        _compiled.get_next_sqrt_price_from_input,
+        sqrt_price_math.get_next_sqrt_price_from_input,
+        price,
+        liquidity,
+        amount,
+        zero_for_one,
+    )
+    assert_parity(
+        _compiled.get_next_sqrt_price_from_output,
+        sqrt_price_math.get_next_sqrt_price_from_output,
+        price,
+        liquidity,
+        amount,
+        zero_for_one,
+    )
+
+
+# -- swap math -----------------------------------------------------------------
+
+
+@given(
+    sqrt_ratios,
+    sqrt_ratios,
+    uint128,
+    int256,
+    st.integers(0, swap_math.FEE_PIPS_DENOMINATOR + 10),
+)
+@settings(max_examples=300, deadline=None)
+def test_compute_swap_step_parity(current, target, liquidity, remaining, fee):
+    assert_parity(
+        _compiled.compute_swap_step_values,
+        swap_math.compute_swap_step_values,
+        current,
+        target,
+        liquidity,
+        remaining,
+        fee,
+    )
+
+
+def test_compute_swap_step_degenerate_cases():
+    mid = tick_math.get_sqrt_ratio_at_tick(0)
+    lo = tick_math.MIN_SQRT_RATIO
+    cases = [
+        (mid, mid, 10**18, 10**9, 3000),  # already at target
+        (mid, lo, 0, 10**9, 3000),  # zero liquidity
+        (mid, lo, 10**18, 0, 3000),  # zero amount
+        (mid, lo, 10**18, -1, 3000),  # smallest exact-output
+        (mid, lo, 10**18, 10**9, 0),  # zero fee
+        (mid, lo, 10**18, 10**9, swap_math.FEE_PIPS_DENOMINATOR),  # fee = 100%
+    ]
+    for case in cases:
+        assert_parity(
+            _compiled.compute_swap_step_values,
+            swap_math.compute_swap_step_values,
+            *case,
+        )
+
+
+# -- keccak256 -----------------------------------------------------------------
+
+part = st.one_of(
+    st.binary(max_size=96),
+    st.text(max_size=48),
+    st.integers(-(1 << 300), 1 << 300),
+    st.booleans(),
+)
+
+
+@given(st.lists(part, max_size=6))
+@settings(max_examples=400, deadline=None)
+def test_keccak256_parity(parts):
+    assert _compiled.keccak256(*parts) == hashing._keccak256_pure(*parts)
+
+
+def test_keccak256_matches_hashlib_directly():
+    """Independent oracle: rebuild the length-prefixed encoding by hand."""
+    for parts in [(b"abc",), ("pool", 7, b"\x00" * 32), (0,), (2**63,), (-1,)]:
+        h = hashlib.sha3_256()
+        for p in parts:
+            data = hashing._to_bytes(p)
+            h.update(len(data).to_bytes(4, "big"))
+            h.update(data)
+        assert _compiled.keccak256(*parts) == h.digest()
+
+
+def test_keccak256_error_parity():
+    for bad in ([1, 2], 3.5, None, object()):
+        assert_parity(
+            _compiled.keccak256, hashing._keccak256_pure, b"ctx", bad
+        )
+
+
+# -- dispatch shim -------------------------------------------------------------
+
+
+def test_backend_module_reports_consistent_state():
+    from repro.amm import backend
+
+    assert backend.requested_backend in backend.VALID_BACKENDS
+    assert backend.active_backend() in backend.VALID_BACKENDS
+    if backend.backend_fell_back():
+        assert backend.active_backend() == "pure"
+    # The dispatched swap-step wrapper returns the same SwapStep dataclass
+    # under either backend.
+    mid = tick_math.get_sqrt_ratio_at_tick(0)
+    step = backend.compute_swap_step(
+        mid, tick_math.MIN_SQRT_RATIO, 10**18, 10**9, 3000
+    )
+    assert step == swap_math.compute_swap_step(
+        mid, tick_math.MIN_SQRT_RATIO, 10**18, 10**9, 3000
+    )
