@@ -360,6 +360,51 @@ def measure_serving_latency(mode: str) -> dict:
     return block
 
 
+def measure_phase_profile(mode: str) -> dict:
+    """Per-phase wall-time breakdown of the epoch loop.
+
+    Installs the telemetry :class:`~repro.telemetry.profile.PhaseProfiler`
+    and drives the ``system_epoch`` op through it, so the report shows
+    where each epoch's wall time goes (inject, rounds, boundary, ...).
+    Wall-clock numbers — machine-dependent trajectory data like
+    ``serving_latency``; ``compare`` never folds this block into the
+    gated scenarios table.
+    """
+    from repro.telemetry import profile as phase_profile
+
+    epochs = {"full": 60, "gate": 20, "quick": 5}[mode]
+    op = bench_amm_engine.make_system_epoch_op()
+    profiler = phase_profile.PhaseProfiler()
+    phase_profile.install(profiler)
+    try:
+        for _ in range(epochs):
+            op()
+    finally:
+        phase_profile.uninstall()
+        cleanup = getattr(op, "cleanup", None)
+        if cleanup is not None:
+            cleanup()
+    summary = profiler.summary()
+    block = {
+        "unit": "wall seconds by epoch phase (system_epoch op)",
+        **summary,
+    }
+    top = max(
+        summary["phases"].items(),
+        key=lambda item: item[1]["total_s"],
+        default=(None, None),
+    )
+    if top[0] is not None:
+        print(
+            "phase_profile: {} epoch(s), heaviest phase {} "
+            "({:.0%} of epoch time)".format(
+                summary["epochs"], top[0], top[1]["share"]
+            ),
+            file=sys.stderr,
+        )
+    return block
+
+
 #: Scenarios the cross-backend comparison runs: the two tightest math
 #: loops plus the end-to-end system number the roadmap gates on.
 BACKEND_SPEEDUP_SCENARIOS = ("tick_math_roundtrip", "swap_in_range", "system_epoch")
@@ -500,6 +545,37 @@ def write_store_records(store_dir: Path, results: dict, mode: str) -> None:
           file=sys.stderr)
 
 
+def export_trace(out: Path, epochs: int = 3) -> None:
+    """Record a traced ``system_epoch`` pass and export Chrome trace JSON.
+
+    Runs *after* every timed measurement so tracing overhead never leaks
+    into the report's numbers.
+    """
+    from repro.telemetry import export, trace
+
+    trace.enable()
+    try:
+        op = bench_amm_engine.make_system_epoch_op()
+        try:
+            for _ in range(epochs):
+                op()
+        finally:
+            cleanup = getattr(op, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
+        events = trace.drain()
+    finally:
+        trace.disable()
+    document = export.to_chrome_trace(events)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document) + "\n")
+    print(
+        f"trace: {len(events)} event(s) -> {out} "
+        "(open in https://ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -547,6 +623,15 @@ def main(argv: list[str] | None = None) -> int:
         help="AMM math/keccak backend to benchmark (sets REPRO_BACKEND "
         "before the engine import; default: whatever REPRO_BACKEND says)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="after the timed runs, record a traced system_epoch pass and "
+        "export it as Chrome trace-event JSON (tracing stays off during "
+        "measurement so the numbers are unaffected)",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.gate:
         parser.error("--quick and --gate are mutually exclusive")
@@ -572,6 +657,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     backend_speedup = (
         measure_backend_speedup(results, mode) if args.scenario is None else None
+    )
+    phase_profile = (
+        measure_phase_profile(mode) if args.scenario is None else None
     )
 
     speedups = {}
@@ -603,10 +691,14 @@ def main(argv: list[str] | None = None) -> int:
         report["serving_latency"] = serving_latency
     if backend_speedup is not None:
         report["backend_speedup"] = backend_speedup
+    if phase_profile is not None:
+        report["phase_profile"] = phase_profile
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if args.store is not None:
         write_store_records(args.store, results, mode)
+    if args.trace is not None:
+        export_trace(args.trace)
     return 0
 
 

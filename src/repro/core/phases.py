@@ -40,6 +40,7 @@ from repro.core.sync import SyncPayload, TsqcAuthenticator
 from repro.mainchain.transactions import TxStatus
 from repro.sidechain.blocks import MetaBlock, SummaryBlock
 from repro.sidechain.election import elect_committee
+from repro.telemetry import trace
 
 
 @dataclass
@@ -68,6 +69,27 @@ class EpochPhase:
 
     def run(self, system, ctx: EpochContext) -> None:
         raise NotImplementedError
+
+
+_TRACE_NAMES: dict[type, str] = {}
+
+
+def phase_trace_name(phase: EpochPhase) -> str:
+    """Span name for a phase: ``RoundExecutionPhase`` → ``phase.round_execution``.
+
+    Cached per class; fault-aware subclasses get their own name so a
+    trace shows which pipeline variant actually ran.
+    """
+    cls = type(phase)
+    name = _TRACE_NAMES.get(cls)
+    if name is None:
+        base = cls.__name__.removesuffix("Phase")
+        snake = "".join(
+            ("_" + ch.lower()) if ch.isupper() and i else ch.lower()
+            for i, ch in enumerate(base)
+        )
+        name = _TRACE_NAMES[cls] = f"phase.{snake}"
+    return name
 
 
 # -- 1. committee election, DKG and key hand-over -----------------------------
@@ -494,6 +516,12 @@ def check_pending_syncs(system) -> None:
 
 def on_sync_confirmed(system, pending) -> None:
     confirm_time = pending.tx.included_at or system.clock.now
+    trace.instant(
+        "sync.confirmed",
+        confirm_time,
+        epochs=list(pending.epochs),
+        signer_epoch=pending.signer_epoch,
+    )
     system._confirmed_syncs.append(pending)
     system.metrics.num_syncs += 1
     if pending.tx.latency is not None:

@@ -34,6 +34,7 @@ see :mod:`repro.faults`.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -48,6 +49,7 @@ from repro.core.phases import (
     EpochPhase,
     MetricsFinalizePhase,
     default_epoch_phases,
+    phase_trace_name,
 )
 from repro.core.snapshot import SnapshotBank
 from repro.core.summary import EpochSummary
@@ -64,6 +66,7 @@ from repro.sidechain.chain import SidechainLedger
 from repro.sidechain.election import Committee
 from repro.sidechain.timing import AgreementTimeModel
 from repro.simulation.clock import SimClock
+from repro.telemetry import profile, trace
 from repro.simulation.rng import DeterministicRng
 from repro.workload.arrivals import ArrivalProcess, ConstantArrivals
 # Imported lazily inside __init__ to avoid a package-import cycle
@@ -420,8 +423,33 @@ class AmmBoostSystem:
     def _run_epoch(self, epoch: int, inject: bool) -> EpochContext:
         """Run one epoch through the phase pipeline; returns its context."""
         ctx = EpochContext(epoch=epoch, inject=inject, epoch_start=self.clock.now)
+        if trace.enabled() or profile.active() is not None:
+            return self._run_epoch_observed(ctx)
         for phase in self.epoch_phases:
             phase.run(self, ctx)
+        return ctx
+
+    def _run_epoch_observed(self, ctx: EpochContext) -> EpochContext:
+        """The same phase pipeline, wrapped in spans / profiler timings.
+
+        Split out so the default loop above stays the untouched fast
+        path; this variant only *observes* (clock reads and wall-time
+        stamps) and must never alter simulation state.
+        """
+        profiler = profile.active()
+        clock = lambda: self.clock.now  # noqa: E731 - span endpoint reader
+        with trace.span("epoch.run", clock, epoch=ctx.epoch, inject=ctx.inject):
+            for phase in self.epoch_phases:
+                with trace.span(phase_trace_name(phase), clock, epoch=ctx.epoch):
+                    wall_start = time.perf_counter()
+                    phase.run(self, ctx)
+                    if profiler is not None:
+                        profiler.record(
+                            type(phase).__name__,
+                            time.perf_counter() - wall_start,
+                        )
+        if profiler is not None:
+            profiler.record_epoch()
         return ctx
 
     # -- fault injection ------------------------------------------------------------------

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments compare A B --rtol 0.01
     python -m repro.experiments baseline export
     python -m repro.experiments baseline check --jobs 4
+    python -m repro.experiments table5 --trace trace.json
+    python -m repro.experiments trace shard_scaling pbft_adversary
 
 ``all`` runs the paper set; ``extras`` the additional scenarios.  With
 ``--jobs N`` independent grid points (sweep entries, comparison legs) fan
@@ -27,6 +29,15 @@ diffs two result sets (store dirs, run manifests, golden fixtures,
 benchmark reports) under per-column tolerances and exits 1 on drift;
 ``baseline export``/``baseline check`` maintain the golden fixtures
 under ``tests/golden/``.  See ``src/repro/results/README.md``.
+
+``--trace OUT.json`` records a structured execution trace of the run
+(epoch phases, PBFT rounds, cross-shard transfers, gateway requests)
+and exports it as Chrome trace-event JSON — load it in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  ``trace`` is the
+shorthand subcommand: it runs the named scenarios with tracing on and
+nothing persisted.  Tracing never changes results: timestamps are
+virtual time, and the golden/compare machinery ignores wall-clock
+fields.  See ``src/repro/telemetry/README.md``.
 """
 
 from __future__ import annotations
@@ -284,11 +295,56 @@ def _write_manifest(
         print(f"warning: could not write run manifest: {exc}", file=sys.stderr)
 
 
+def _trace_main(argv: list[str]) -> int:
+    """``trace NAMES...`` — run scenarios with tracing on, export JSON.
+
+    Shorthand for ``NAMES... --trace OUT --no-store``: a quick way to
+    get a Perfetto-loadable picture of a run without touching the
+    artifact store.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace",
+        description=(
+            "Run scenarios with structured tracing enabled and export a "
+            "Chrome trace-event JSON file (open in https://ui.perfetto.dev)."
+        ),
+    )
+    parser.add_argument("names", nargs="+", help="scenario names / groups")
+    parser.add_argument(
+        "--out", type=Path, default=Path("trace.json"), metavar="OUT.json",
+        help="trace output file (default: %(default)s)",
+    )
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--scale", type=int, default=None)
+    args = parser.parse_args(argv)
+    forwarded = [*args.names, "--trace", str(args.out), "--no-store",
+                 "--jobs", str(args.jobs)]
+    if args.scale is not None:
+        forwarded += ["--scale", str(args.scale)]
+    return main(forwarded)
+
+
+def _export_trace(out: Path) -> None:
+    """Drain the trace buffer into a Chrome trace-event JSON file."""
+    from repro.telemetry import export, trace
+
+    events = trace.drain()
+    document = export.to_chrome_trace(events)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document) + "\n")
+    print(
+        f"trace: {len(events)} event(s) -> {out} "
+        "(open in https://ui.perfetto.dev)"
+    )
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "compare":
         return _compare_main(argv[1:])
     if argv and argv[0] == "baseline":
         return _baseline_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -328,6 +384,14 @@ def main(argv: list[str]) -> int:
         action="store_true",
         help="do not persist artifacts or a run manifest (implies no --resume)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="record a structured execution trace and export it as Chrome "
+        "trace-event JSON (results are unchanged; see telemetry README)",
+    )
     args = parser.parse_args(argv)
 
     if not args.names or args.names[0] == "list":
@@ -352,7 +416,16 @@ def main(argv: list[str]) -> int:
     runner = ScenarioRunner(
         jobs=args.jobs, scale=args.scale, store=store, resume=args.resume
     )
-    outcomes = runner.run_many(specs)
+    if args.trace is not None:
+        from repro.telemetry import trace
+
+        trace.enable()
+    try:
+        outcomes = runner.run_many(specs)
+    finally:
+        if args.trace is not None:
+            _export_trace(args.trace)
+            trace.disable()
     if store is not None:
         _write_manifest(store, runner, argv, names, outcomes)
     failures = 0

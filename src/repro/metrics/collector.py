@@ -9,15 +9,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.metrics import LogHistogram, MetricsRegistry
+
 
 @dataclass
 class LatencyStats:
-    """Streaming latency accumulator (mean/min/max without storing all)."""
+    """Streaming latency accumulator (mean/min/max without storing all).
+
+    Also feeds a log-scale histogram so percentiles are available
+    without retaining samples; percentiles are deterministic across
+    merge orders (bucket counts just add).
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = 0.0
+    histogram: LogHistogram = field(default_factory=LogHistogram, repr=False)
 
     def record(self, value: float) -> None:
         if value < 0:
@@ -26,16 +34,40 @@ class LatencyStats:
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        self.histogram.record(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Streaming quantile (``q`` in [0, 1]); 0.0 when empty."""
+        return self.histogram.quantile(q)
 
     def merge(self, other: "LatencyStats") -> None:
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+        self.histogram.merge(other.histogram)
+
+    def as_dict(self) -> dict:
+        """Strict-JSON-safe summary.
+
+        An empty stat keeps ``minimum = inf`` internally (the identity
+        for ``min`` under merge), but ``inf`` is not valid strict JSON
+        and the artifact store serializes with ``allow_nan=False`` —
+        so an empty stat reports ``min: 0.0`` here.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
 
 
 @dataclass
@@ -83,6 +115,31 @@ class MetricsCollector:
         key = reason or "unspecified"
         self.refunds_by_reason[key] = self.refunds_by_reason.get(key, 0) + 1
         self.aborted_legs += 1
+
+    def to_registry(self, registry: MetricsRegistry, prefix: str = "run") -> None:
+        """Publish this collector into a telemetry MetricsRegistry.
+
+        Histograms are merged (not copied), so registries folded across
+        shards report true run-wide percentiles.
+        """
+        registry.counter(f"{prefix}.processed_txs").inc(self.processed_txs)
+        registry.counter(f"{prefix}.rejected_txs").inc(self.rejected_txs)
+        registry.counter(f"{prefix}.num_syncs").inc(self.num_syncs)
+        registry.counter(f"{prefix}.num_deposits").inc(self.num_deposits)
+        registry.counter(f"{prefix}.total_gas").inc(self.total_gas)
+        registry.counter(f"{prefix}.aborted_legs").inc(self.aborted_legs)
+        for reason, count in sorted(self.refunds_by_reason.items()):
+            registry.counter(f"{prefix}.refunds.{reason}").inc(count)
+        registry.gauge(f"{prefix}.peak_queue_depth").set(self.peak_queue_depth)
+        registry.histogram(f"{prefix}.sidechain_latency_s").merge(
+            self.sidechain_latency.histogram
+        )
+        registry.histogram(f"{prefix}.payout_latency_s").merge(
+            self.payout_latency.histogram
+        )
+        registry.histogram(f"{prefix}.mainchain_latency_s").merge(
+            self.mainchain_latency.histogram
+        )
 
     def summary(self) -> dict:
         """Plain-dict summary convenient for benches and reports."""

@@ -41,6 +41,23 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.simulation.rng import DeterministicRng
+from repro.telemetry import trace
+
+
+def record_heal_event(kind: str, slot: int, epoch: int | None, **attrs: Any) -> None:
+    """Trace one self-healing action (respawn attempt, slot give-up).
+
+    Healing is driven by wall-clock liveness, so the only virtual
+    timestamp it has is the in-flight message's epoch — instants land
+    at ``vt = epoch`` (or 0.0 when nothing was in flight), which puts
+    them on the trace's epoch axis next to the work they interrupted.
+    """
+    trace.instant(
+        f"healing.{kind}",
+        float(epoch) if epoch is not None else 0.0,
+        slot=slot,
+        **attrs,
+    )
 
 
 @dataclass(frozen=True)

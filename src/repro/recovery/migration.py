@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError, PlacementError
+from repro.telemetry import trace
 
 
 @dataclass(frozen=True)
@@ -344,6 +345,15 @@ class MigrationEngine:
             self.migrating[pool_id] = to_shard
             self._begin_queue.append(
                 (source, BeginPoolMigration(pool_id, to_shard))
+            )
+            # Coordinator decisions have no simulated clock of their
+            # own; like healing events, they land on the epoch axis.
+            trace.instant(
+                "migration.decided",
+                float(epoch),
+                pool=pool_id,
+                from_shard=source,
+                to_shard=to_shard,
             )
             self._last_decision_epoch = epoch
             self._moves_decided += 1

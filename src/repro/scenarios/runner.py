@@ -40,6 +40,7 @@ from repro.scenarios.result import ExperimentResult
 from repro.scenarios.scaling import env_scale_boost
 from repro.scenarios.spec import ScenarioSpec
 from repro.simulation.rng import DeterministicRng
+from repro.telemetry import trace
 
 
 class ScenarioError(RuntimeError):
@@ -97,15 +98,31 @@ def _invoke(task: tuple) -> tuple:
     """Run one point; never raise (errors must survive the pickle trip).
 
     Success outcomes carry the point's wall clock so the artifact store
-    can record how expensive each grid point was to (re)compute.
+    can record how expensive each grid point was to (re)compute, plus —
+    with tracing on — the point's drained trace spans as a 4th element
+    (``None`` when tracing is off), so parallel workers ship their
+    events back over the pickle trip like everything else.
     """
     fn, params = task
+    # Points get fresh-trace semantics the same way they get fresh tx
+    # counters: the caller's buffered events (or a forked worker's
+    # inherited copy of them) are set aside so the drain below returns
+    # exactly this point's spans, then restored for serial callers.
+    inherited = trace.drain() if trace.enabled() else None
     try:
         _reset_point_state()
         start = time.perf_counter()
         result = fn(params)
-        return ("ok", result, time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        if inherited is None:
+            return ("ok", result, wall)
+        spans = trace.drain()
+        trace.ingest(inherited)
+        return ("ok", result, wall, spans)
     except Exception as exc:  # noqa: BLE001 — reported per-scenario by the caller
+        if inherited is not None:
+            trace.discard()
+            trace.ingest(inherited)
         # Errors flagged ``concise`` (e.g. WorkerLostError: a shard
         # worker died past its retry budget) are operational outcomes,
         # not programming bugs — one clean line, no traceback.
@@ -222,6 +239,8 @@ class ScenarioRunner:
         artifact = self.store.load_point(key)
         if artifact is None:
             return None
+        # No spans element: a cached point re-emits nothing (its spans
+        # belong to the run that computed it).
         return ("ok", artifact.result, artifact.wall_clock_s)
 
     def _save_point(
@@ -286,6 +305,22 @@ class ScenarioRunner:
                 pending.append(i)
         for i, outcome in zip(pending, self._map([all_tasks[i] for i in pending])):
             outcomes[i] = outcome
+
+        # Merge the points' trace spans in task order (the same order a
+        # serial run would have emitted them), tagging each point as its
+        # own trace process so Perfetto groups lanes per grid point.
+        if trace.enabled():
+            for i, (spec, index, _, _) in enumerate(task_meta):
+                outcome = outcomes[i]
+                if outcome is None or outcome[0] != "ok" or len(outcome) < 4:
+                    continue
+                spans = outcome[3]
+                if not spans:
+                    continue
+                proc = f"{spec.name}[{index}]"
+                for event in spans:
+                    event["proc"] = proc
+                trace.ingest(spans)
 
         pending_set = set(pending)
         self.point_records = []

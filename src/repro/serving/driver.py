@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.serving.clients import ClientFleet, FleetConfig
 from repro.serving.gateway import GatewayConfig, GatewayStats, QuoteGateway
 from repro.serving.phases import serving_epoch_phases
-from repro.serving.stats import latency_summary
+from repro.serving.stats import histogram_summary, latency_summary
 
 
 @dataclass(frozen=True)
@@ -84,9 +84,16 @@ class ServingReport:
             "clients": self.config.num_clients,
             "requests_logged": len(self.log),
             "quotes_served": stats.quotes_served,
-            "quote_latency_ticks": latency_summary(
-                [float(v) for v in stats.quote_latency_ticks]
-            ),
+            "quote_latency_ticks": {
+                # Exact nearest-rank block first (bit-stable columns),
+                # then the streaming-histogram view under hist_* keys.
+                **latency_summary(
+                    [float(v) for v in stats.quote_latency_ticks]
+                ),
+                **histogram_summary(
+                    [float(v) for v in stats.quote_latency_ticks]
+                ),
+            },
             "quote_rejections": dict(sorted(stats.quote_rejections.items())),
             "quote_errors": dict(sorted(stats.quote_errors.items())),
             "swaps_accepted": stats.submits_accepted,

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 from repro.amm.pool import Pool, PoolSnapshot
 from repro.core.transactions import SwapTx
 from repro.errors import AMMError
+from repro.telemetry import trace
+from repro.telemetry.metrics import MetricsRegistry
 
 REASON_QUEUE_FULL = "queue_full"
 REASON_STALE_SNAPSHOT = "stale_snapshot"
@@ -169,6 +171,30 @@ class GatewayStats:
     def submits_rejected(self) -> int:
         return sum(self.submit_rejections.values())
 
+    def to_registry(
+        self, registry: MetricsRegistry, prefix: str = "gateway"
+    ) -> None:
+        """Publish gateway counters + latency histograms into a registry."""
+        registry.counter(f"{prefix}.quotes_served").inc(self.quotes_served)
+        registry.counter(f"{prefix}.submits_accepted").inc(self.submits_accepted)
+        registry.counter(f"{prefix}.executor_rejected").inc(self.executor_rejected)
+        for reason, count in sorted(self.quote_rejections.items()):
+            registry.counter(f"{prefix}.quote_rejections.{reason}").inc(count)
+        for reason, count in sorted(self.submit_rejections.items()):
+            registry.counter(f"{prefix}.submit_rejections.{reason}").inc(count)
+        registry.gauge(f"{prefix}.peak_admission_queue").set(
+            self.peak_admission_queue
+        )
+        registry.gauge(f"{prefix}.peak_pending_quotes").set(
+            self.peak_pending_quotes
+        )
+        latency = registry.histogram(f"{prefix}.quote_latency_ticks")
+        for ticks in self.quote_latency_ticks:
+            latency.record(ticks)
+        finality = registry.histogram(f"{prefix}.finality_epochs")
+        for epochs in self.finality_epochs:
+            finality.record(epochs)
+
 
 class QuoteGateway:
     """Asyncio serving gateway over one pool (see module docstring)."""
@@ -258,6 +284,15 @@ class QuoteGateway:
         The inbox is sorted by ``(client, seq)`` first, so the outcome is
         independent of the order asyncio happened to run the client tasks.
         """
+        traced = trace.enabled()
+        prev_track = trace.set_track("gateway") if traced else ""
+        try:
+            self._process_tick_inner()
+        finally:
+            if traced:
+                trace.set_track(prev_track)
+
+    def _process_tick_inner(self) -> None:
         inbox = sorted(self._inbox, key=lambda entry: (entry[0].client, entry[0].seq))
         self._inbox.clear()
         config = self.config
@@ -309,6 +344,13 @@ class QuoteGateway:
             _InflightSwap(tx, self.epoch, submission.client, submission.seq)
         )
         self.stats.submits_accepted += 1
+        trace.complete(
+            "gateway.submit",
+            submission.submitted_tick,
+            self.now_tick,
+            client=submission.client,
+            seq=submission.seq,
+        )
         future.set_result(
             SwapReceipt(
                 client=submission.client,
@@ -343,6 +385,14 @@ class QuoteGateway:
             self.stats.quote_latency_ticks.append(
                 self.now_tick - request.submitted_tick
             )
+            trace.complete(
+                "gateway.quote",
+                request.submitted_tick,
+                self.now_tick,
+                client=request.client,
+                seq=request.seq,
+                snapshot_epoch=snap.epoch,
+            )
             future.set_result(
                 QuoteResponse(
                     client=request.client,
@@ -364,6 +414,19 @@ class QuoteGateway:
         self.stats.quote_rejections[reason] = (
             self.stats.quote_rejections.get(reason, 0) + 1
         )
+        if trace.enabled():
+            # Drain-path rejects fire from client coroutines, outside the
+            # process_tick track scope — pin them to the gateway track.
+            prev_track = trace.set_track("gateway")
+            trace.instant(
+                "gateway.reject",
+                self.now_tick,
+                kind="quote",
+                reason=reason,
+                client=request.client,
+                seq=request.seq,
+            )
+            trace.set_track(prev_track)
         return QuoteResponse(
             client=request.client,
             seq=request.seq,
@@ -381,6 +444,17 @@ class QuoteGateway:
         self.stats.submit_rejections[reason] = (
             self.stats.submit_rejections.get(reason, 0) + 1
         )
+        if trace.enabled():
+            prev_track = trace.set_track("gateway")
+            trace.instant(
+                "gateway.reject",
+                self.now_tick,
+                kind="submit",
+                reason=reason,
+                client=submission.client,
+                seq=submission.seq,
+            )
+            trace.set_track(prev_track)
         return SwapReceipt(
             client=submission.client,
             seq=submission.seq,

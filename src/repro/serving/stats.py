@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.telemetry.metrics import LogHistogram
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty input."""
@@ -22,4 +24,24 @@ def latency_summary(values: Sequence[float]) -> dict:
         "p50": percentile(values, 50.0),
         "p99": percentile(values, 99.0),
         "max": float(max(values)) if values else 0.0,
+    }
+
+
+def histogram_summary(values: Sequence[float]) -> dict:
+    """Streaming-histogram percentiles for the same sample set.
+
+    Backed by the telemetry LogHistogram, so the numbers match what a
+    sample-free streaming collector would report (bucket midpoints,
+    ~9% relative bucket width) and merge deterministically — unlike
+    :func:`latency_summary`, which needs every sample retained.
+    Reported under separate keys so the exact-percentile columns above
+    stay bit-stable.
+    """
+    hist = LogHistogram()
+    for value in values:
+        hist.record(value)
+    return {
+        "hist_p50": hist.quantile(0.50),
+        "hist_p90": hist.quantile(0.90),
+        "hist_p99": hist.quantile(0.99),
     }

@@ -55,9 +55,11 @@ from repro.recovery.healing import (
     EpochLog,
     SchedulerRecoveryConfig,
     WorkerCrash,
+    record_heal_event,
 )
 from repro.sharding.escrow import ShardInstructions
 from repro.sharding.shard import Shard, ShardEpochRecord, ShardFinal, ShardSpec
+from repro.telemetry import trace
 
 
 class _WorkerDown(Exception):
@@ -66,17 +68,32 @@ class _WorkerDown(Exception):
 
 def _serve_message(
     shards: dict[int, Shard], message: tuple[Any, ...]
-) -> dict[int, Any]:
+) -> tuple[dict[int, Any], dict[int, list] | None]:
+    """Serve one scheduler message; also drain trace spans per shard.
+
+    Returns ``(payload, spans_by_shard)`` where ``spans_by_shard`` is
+    ``None`` with tracing off (the wire reply then stays the historical
+    2-tuple) and otherwise maps each shard index to the events its
+    stage emitted — the unit the coordinator merges in sorted shard
+    order so ``--jobs 1`` and ``--jobs N`` traces are identical.
+    """
+    spans: dict[int, list] | None = {} if trace.enabled() else None
+    payload: dict[int, Any] = {}
     if message[0] == "epoch":
         _, epoch, inject, instructions = message
-        return {
-            index: shards[index].run_epoch(
+        for index in sorted(shards):
+            payload[index] = shards[index].run_epoch(
                 epoch, instructions.get(index, []), inject
             )
-            for index in sorted(shards)
-        }
+            if spans is not None:
+                spans[index] = trace.drain()
+        return payload, spans
     if message[0] == "finish":
-        return {index: shards[index].finish() for index in sorted(shards)}
+        for index in sorted(shards):
+            payload[index] = shards[index].finish()
+            if spans is not None:
+                spans[index] = trace.drain()
+        return payload, spans
     raise ShardError(f"unknown message {message[0]!r}")
 
 
@@ -97,6 +114,10 @@ def _worker_main(
         shards = {spec.index: Shard(spec) for spec in specs}
         for message in replay:
             _serve_message(shards, message)
+        # Replayed spans were already delivered to the coordinator
+        # before the crash; this also clears any fork-inherited copy of
+        # the parent's buffer, so the worker starts from a clean slate.
+        trace.discard()
         while True:
             message = conn.recv()
             if (
@@ -105,8 +126,11 @@ def _worker_main(
                 and message[1] == crash.epoch
             ):
                 os._exit(1)
-            payload = _serve_message(shards, message)
-            conn.send(("ok", payload))
+            payload, spans = _serve_message(shards, message)
+            if spans is None:
+                conn.send(("ok", payload))
+            else:
+                conn.send(("ok", payload, spans))
             if message[0] == "finish":
                 return
     except EOFError:  # parent closed the pipe: orderly shutdown
@@ -227,12 +251,17 @@ class ShardScheduler:
             }
             self._post(slot, ("epoch", epoch, inject, owned))
         records: dict[int, ShardEpochRecord] = {}
+        spans_by_shard: dict[int, list] = {}
         for slot in range(self.jobs):
             if slot in self.failed_slots:
                 continue
-            payload = self._collect(slot)
-            if payload is not None:
+            collected = self._collect(slot)
+            if collected is not None:
+                payload, spans = collected
                 records.update(payload)
+                if spans:
+                    spans_by_shard.update(spans)
+        self._merge_spans(spans_by_shard)
         for index in sorted(self.failed_shards):
             records[index] = self._synthesize_record(index, epoch)
         self._last_records.update(
@@ -250,15 +279,32 @@ class ShardScheduler:
             if slot not in self.failed_slots:
                 self._post(slot, ("finish",))
         finals: dict[int, ShardFinal] = {}
+        spans_by_shard: dict[int, list] = {}
         for slot in range(self.jobs):
             if slot not in self.failed_slots:
-                payload = self._collect(slot)
-                if payload is not None:
+                collected = self._collect(slot)
+                if collected is not None:
+                    payload, spans = collected
                     finals.update(payload)
+                    if spans:
+                        spans_by_shard.update(spans)
+        self._merge_spans(spans_by_shard)
         for index in sorted(self.failed_shards):
             finals[index] = self._synthesize_final(index)
         self.close()
         return finals
+
+    @staticmethod
+    def _merge_spans(spans_by_shard: dict[int, list]) -> None:
+        """Ingest worker-drained spans in sorted shard-index order.
+
+        Slots own shards round-robin (slot 0 gets shards 0, 2, ...), so
+        updating per slot would interleave 0, 2, 1, 3 — sorting by
+        shard restores the serial scheduler's emission order and makes
+        trace digests independent of the job count.
+        """
+        for index in sorted(spans_by_shard):
+            trace.ingest(spans_by_shard[index])
 
     # -- healing ---------------------------------------------------------------
 
@@ -270,7 +316,9 @@ class ShardScheduler:
         except OSError:
             pass  # worker already dead; _collect respawns and re-sends
 
-    def _collect(self, slot: int) -> dict[int, Any] | None:
+    def _collect(
+        self, slot: int
+    ) -> tuple[dict[int, Any], dict[int, list] | None] | None:
         """The in-flight message's response, healing the worker as needed.
 
         Attempt 0 is the normal receive; each further attempt is one
@@ -288,7 +336,9 @@ class ShardScheduler:
                 continue
         return self._give_up(slot)
 
-    def _receive(self, slot: int) -> dict[int, Any]:
+    def _receive(
+        self, slot: int
+    ) -> tuple[dict[int, Any], dict[int, list] | None]:
         conn = self._conns[slot]
         worker = self._workers[slot]
         deadline = time.monotonic() + self.recovery.heartbeat_timeout_s
@@ -299,15 +349,18 @@ class ShardScheduler:
                 raise _WorkerDown(f"worker {slot}: pipe lost")
             if ready:
                 try:
-                    status, payload = conn.recv()
+                    # 2-tuple reply with tracing off (the historical
+                    # wire format); a third element carries the spans.
+                    reply = conn.recv()
                 except (EOFError, OSError):
                     raise _WorkerDown(f"worker {slot}: died mid-reply")
+                status, payload = reply[0], reply[1]
                 if status != "ok":
                     # A worker *exception* is deterministic — replay
                     # would reproduce it.  Fail the run, do not retry.
                     self.close()
                     raise ShardError(f"shard worker failed: {payload}")
-                return payload
+                return payload, (reply[2] if len(reply) > 2 else None)
             if not worker.is_alive():
                 # One last poll: the reply may have raced the death.
                 if conn.poll(0):
@@ -319,6 +372,13 @@ class ShardScheduler:
 
     def _respawn(self, slot: int) -> None:
         """Fork a replacement and bring it to the in-flight message."""
+        if trace.enabled():
+            current = self._logs[slot].current()
+            record_heal_event(
+                "respawn",
+                slot,
+                current[1] if current and current[0] == "epoch" else None,
+            )
         try:
             self._conns[slot].close()
         except OSError:  # pragma: no cover - already closed
@@ -341,6 +401,15 @@ class ShardScheduler:
         owned = sorted(
             index for index, s in self._owner.items() if s == slot
         )
+        if trace.enabled():
+            current = self._logs[slot].current()
+            record_heal_event(
+                "give_up",
+                slot,
+                current[1] if current and current[0] == "epoch" else None,
+                shards=owned,
+                degrade=self.recovery.degrade,
+            )
         if not self.recovery.degrade:
             self.close()
             raise WorkerLostError(

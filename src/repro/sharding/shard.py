@@ -80,6 +80,7 @@ from repro.sharding.escrow import (
     TransferRecord,
 )
 from repro.simulation.rng import DeterministicRng
+from repro.telemetry import trace
 
 #: Extra wire bytes a transfer carries over a plain swap (routing
 #: metadata: destination shard, pool, transfer id).
@@ -211,6 +212,14 @@ class ShardExecutor(SidechainExecutor):
         )
         balance[in_index] -= tx.amount
         tx.effects = {"delta0": -amount0, "delta1": -amount1, "fee": 0}
+        trace.async_begin(
+            "xfer.transfer",
+            tx.transfer_id,
+            self.shard.system.clock.now,
+            source_shard=self.shard.index,
+            dest_shard=tx.dest_shard,
+            amount=tx.amount,
+        )
 
     def _escrow_return_leg(self, tx: CrossShardSwapTx) -> None:
         """Round trip: escrow an executed swap's output back home."""
@@ -226,9 +235,10 @@ class ShardExecutor(SidechainExecutor):
         tx.effects["delta0"] = delta0 - out0
         tx.effects["delta1"] = delta1 - out1
         shard = self.shard
+        return_id = shard.ledger.next_transfer_id(shard.current_epoch)
         shard.ledger.prepare(
             TransferRecord(
-                transfer_id=shard.ledger.next_transfer_id(shard.current_epoch),
+                transfer_id=return_id,
                 user=tx.user,
                 source_shard=shard.index,
                 dest_shard=tx.home_shard,
@@ -238,6 +248,14 @@ class ShardExecutor(SidechainExecutor):
                 epoch=shard.current_epoch,
                 swap_amount=0,
             )
+        )
+        trace.async_begin(
+            "xfer.transfer",
+            return_id,
+            shard.system.clock.now,
+            source_shard=shard.index,
+            dest_shard=tx.home_shard,
+            leg="return",
         )
 
 
@@ -400,22 +418,35 @@ class Shard:
                     f"offline in epoch {epoch}"
                 )
             return self._record(epoch, online=False)
-        with counter_scope(self.index, epoch + 1):
-            self._apply_instructions(instructions)
-            self.system._run_epoch(epoch, inject=inject)
-            self.epochs_run += 1
-            rollbacks = self._drain_rewinds(epoch)
-            prepares = self.ledger.prepared_in(epoch)
-            for record in prepares:
-                self.system.token_bank.escrow_lock(
-                    record.transfer_id,
-                    record.user,
-                    record.amount0,
-                    record.amount1,
+        traced = trace.enabled()
+        prev_track = trace.set_track(f"shard{self.index}") if traced else ""
+        try:
+            with counter_scope(self.index, epoch + 1):
+                self._apply_instructions(instructions)
+                self.system._run_epoch(epoch, inject=inject)
+                self.epochs_run += 1
+                rollbacks = self._drain_rewinds(epoch)
+                prepares = self.ledger.prepared_in(epoch)
+                for record in prepares:
+                    self.system.token_bank.escrow_lock(
+                        record.transfer_id,
+                        record.user,
+                        record.amount0,
+                        record.amount1,
+                    )
+                    trace.async_instant(
+                        "xfer.lock",
+                        record.transfer_id,
+                        self.system.clock.now,
+                        shard=self.index,
+                        epoch=epoch,
+                    )
+                return self._record(
+                    epoch, online=True, prepares=prepares, rollbacks=rollbacks
                 )
-            return self._record(
-                epoch, online=True, prepares=prepares, rollbacks=rollbacks
-            )
+        finally:
+            if traced:
+                trace.set_track(prev_track)
 
     def _apply_instructions(self, instructions: ShardInstructions) -> None:
         bank = self.system.token_bank
@@ -425,6 +456,13 @@ class Shard:
                 if instruction.settle:
                     bank.escrow_release(instruction.transfer_id)
                     self.ledger.mark_settled(instruction.transfer_id)
+                    trace.async_end(
+                        "xfer.transfer",
+                        instruction.transfer_id,
+                        now,
+                        outcome="settled",
+                        shard=self.index,
+                    )
                 else:
                     bank.escrow_refund(
                         instruction.transfer_id, now, instruction.reason
@@ -433,6 +471,14 @@ class Shard:
                         instruction.transfer_id, instruction.reason
                     )
                     self.system.metrics.record_refund(instruction.reason)
+                    trace.async_end(
+                        "xfer.transfer",
+                        instruction.transfer_id,
+                        now,
+                        outcome="refunded",
+                        reason=instruction.reason,
+                        shard=self.index,
+                    )
             elif isinstance(instruction, RelockEscrow):
                 self._apply_relock(instruction.transfer)
             elif isinstance(instruction, ResyncResolve):
@@ -454,6 +500,12 @@ class Shard:
         transfer = credit.transfer
         self.system.token_bank.credit_external(
             transfer.user, transfer.amount0, transfer.amount1, now
+        )
+        trace.async_instant(
+            "xfer.credit",
+            transfer.transfer_id,
+            now,
+            dest_shard=self.index,
         )
         if transfer.swap_amount > 0:
             leg = CrossShardSwapTx(
@@ -544,6 +596,17 @@ class Shard:
                 book_digest=self._book_digest(),
             )
         )
+        # Async key matches the sealed manifest so the completing shard's
+        # end event stitches to this begin across tracks.
+        trace.async_begin(
+            "migration.pool",
+            f"{begin.pool_id}@{self.current_epoch}",
+            self.system.clock.now,
+            pool=begin.pool_id,
+            from_shard=self.index,
+            to_shard=begin.to_shard,
+            volume_moved=volume_moved,
+        )
 
     def _complete_migration(self, manifest: PoolManifest) -> None:
         """Activate a migrated pool: gain its label and volume share."""
@@ -556,6 +619,13 @@ class Shard:
         self.daily_volume += manifest.volume_moved
         self.assignment[manifest.pool_id] = self.index
         self._refresh_remote_pools()
+        trace.async_end(
+            "migration.pool",
+            f"{manifest.pool_id}@{manifest.sealed_epoch}",
+            self.system.clock.now,
+            pool=manifest.pool_id,
+            to_shard=self.index,
+        )
 
     def _refresh_remote_pools(self) -> None:
         self.remote_pools = tuple(
@@ -579,24 +649,31 @@ class Shard:
         that recovery: while summaries remain unsynced, run one more
         (empty) epoch whose sync mass-covers them.
         """
-        with counter_scope(self.index, self.current_epoch + 2):
-            system = self.system
-            system.mainchain.produce_blocks_until(
-                system.clock.now + 3 * system.mainchain.config.block_interval
-            )
-            system._check_pending_syncs()
-            recoveries = 0
-            while system._unsynced and recoveries < 3:
-                recoveries += 1
-                self.current_epoch += 1
-                system._run_epoch(self.current_epoch, inject=False)
-                self.epochs_run += 1
+        traced = trace.enabled()
+        prev_track = trace.set_track(f"shard{self.index}") if traced else ""
+        try:
+            with counter_scope(self.index, self.current_epoch + 2):
+                system = self.system
                 system.mainchain.produce_blocks_until(
                     system.clock.now
                     + 3 * system.mainchain.config.block_interval
                 )
                 system._check_pending_syncs()
-            system._finalize_metrics()
+                recoveries = 0
+                while system._unsynced and recoveries < 3:
+                    recoveries += 1
+                    self.current_epoch += 1
+                    system._run_epoch(self.current_epoch, inject=False)
+                    self.epochs_run += 1
+                    system.mainchain.produce_blocks_until(
+                        system.clock.now
+                        + 3 * system.mainchain.config.block_interval
+                    )
+                    system._check_pending_syncs()
+                system._finalize_metrics()
+        finally:
+            if traced:
+                trace.set_track(prev_track)
         supply0, supply1 = self.supply()
         return ShardFinal(
             shard=self.index,

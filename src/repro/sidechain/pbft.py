@@ -50,6 +50,7 @@ from repro.errors import ConsensusError
 from repro.sidechain.messages import PbftMessage, PbftPhase
 from repro.simulation.events import EventScheduler
 from repro.simulation.network import Network
+from repro.telemetry import trace
 
 
 @lru_cache(maxsize=4096)
@@ -162,6 +163,10 @@ class PbftRound:
         self.outcome = ConsensusOutcome(decided=False)
         self._timeout_events: dict[str, Any] = {}
         self._closed = False
+        #: Trace bookkeeping: virtual start time and whether the round's
+        #: span has been emitted (decide and close must not double-emit).
+        self._trace_started_at = 0.0
+        self._trace_emitted = False
         #: (sender, view, digest, sig point) -> bool memo for pre-prepares,
         #: which are still verified eagerly (they gate proposal handling).
         self._verified: dict[tuple, bool] = {}
@@ -190,6 +195,7 @@ class PbftRound:
 
     def start(self) -> None:
         """Kick off view 0: the leader proposes, everyone arms a timeout."""
+        self._trace_started_at = self.scheduler.clock.now
         if self.faults is not None:
             for time, node in self.faults.recoveries():
                 if node in self.states:
@@ -220,6 +226,18 @@ class PbftRound:
 
     def close(self) -> None:
         """Unregister endpoints so another instance can reuse the network."""
+        if trace.enabled() and not self._trace_emitted:
+            # The round ran but never decided: emit the span at close so
+            # stalled instances are still visible in the trace.
+            self._trace_emitted = True
+            trace.complete(
+                "pbft.round",
+                self._trace_started_at,
+                self.scheduler.clock.now,
+                decided=False,
+                view=max(s.view for s in self.states.values()),
+                endpoint=self.prefix,
+            )
         self._closed = True
         for member in self.config.members:
             self.network.unregister(self._endpoint(member))
@@ -378,6 +396,16 @@ class PbftRound:
                 self.outcome.view = msg.view
                 self.outcome.decided_at = self.scheduler.clock.now
                 self.outcome.view_changes = msg.view
+                if trace.enabled() and not self._trace_emitted:
+                    self._trace_emitted = True
+                    trace.complete(
+                        "pbft.round",
+                        self._trace_started_at,
+                        self.outcome.decided_at,
+                        decided=True,
+                        view=msg.view,
+                        endpoint=self.prefix,
+                    )
             self.outcome.deciders.add(member)
 
     # -- view change ---------------------------------------------------------------------
@@ -442,6 +470,13 @@ class PbftRound:
         if view > self.config.max_views:
             return
         state.view = view
+        trace.instant(
+            "pbft.view_change",
+            self.scheduler.clock.now,
+            member=member,
+            view=view,
+            endpoint=self.prefix,
+        )
         self._arm_timeout(member, view)
         if member == self.config.leader(view):
             # New leader re-proposes for the new view.

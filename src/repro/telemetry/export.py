@@ -1,0 +1,138 @@
+"""Chrome trace-event export for the span buffer.
+
+``to_chrome_trace`` converts the tracer's plain-dict events into the
+Chrome trace-event JSON format (the ``traceEvents`` array flavour)
+that https://ui.perfetto.dev loads directly.  Virtual time (seconds)
+maps to the format's microsecond ``ts``/``dur``; string ``proc`` and
+``track`` labels map to integer ``pid``/``tid`` with ``M`` metadata
+events carrying the human-readable names.
+
+``validate_chrome_trace`` is a lightweight structural checker used by
+the CI telemetry smoke job and the trace tests — it verifies the
+invariants Perfetto relies on without needing any external schema
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace"]
+
+_SCALE = 1_000_000  # virtual seconds -> trace microseconds
+
+
+def to_chrome_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Render tracer events as a Chrome trace-event JSON document."""
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    out: list[dict[str, Any]] = []
+
+    def pid_for(proc: str) -> int:
+        pid = pids.get(proc)
+        if pid is None:
+            pid = pids[proc] = len(pids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": proc},
+                }
+            )
+        return pid
+
+    def tid_for(proc: str, track: str) -> int:
+        key = (proc, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_for(proc),
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for event in events:
+        proc = event.get("proc", "main")
+        track = event.get("track", "main")
+        rendered: dict[str, Any] = {
+            "ph": event["ph"],
+            "name": event["name"],
+            "cat": event.get("cat", event["name"]),
+            "pid": pid_for(proc),
+            "tid": tid_for(proc, track),
+            "ts": round(event["ts"] * _SCALE, 3),
+            "args": dict(event.get("args", {})),
+        }
+        if event["ph"] == "X":
+            rendered["dur"] = round(max(event.get("dur", 0.0), 0.0) * _SCALE, 3)
+            if "wall_dur" in event:
+                rendered["args"]["wall_dur_s"] = event["wall_dur"]
+        elif event["ph"] == "i":
+            rendered["s"] = "t"  # instant scoped to its thread
+        elif event["ph"] in ("b", "n", "e"):
+            rendered["id"] = event["id"]
+        out.append(rendered)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Structurally validate a Chrome trace-event document.
+
+    Returns a list of human-readable problems (empty = valid):
+    required keys per phase, integer pid/tid, numeric timestamps, and
+    balanced async begin/end pairs per ``(cat, id)``.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' array"]
+    open_async: dict[tuple[str, str], int] = {}
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "b", "n", "e", "M"):
+            errors.append(f"{where}: unsupported ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            errors.append(f"{where}: pid/tid must be integers")
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: complete event missing numeric 'dur'")
+        if ph in ("b", "n", "e"):
+            if not isinstance(event.get("id"), str):
+                errors.append(f"{where}: async event missing string 'id'")
+            elif not isinstance(event.get("cat"), str):
+                errors.append(f"{where}: async event missing string 'cat'")
+            else:
+                key = (event["cat"], event["id"])
+                if ph == "b":
+                    open_async[key] = open_async.get(key, 0) + 1
+                elif ph == "e":
+                    open_async[key] = open_async.get(key, 0) - 1
+    for (cat, async_id), depth in sorted(open_async.items()):
+        # A still-open span (depth > 0) is fine — the trace may end with
+        # transfers in flight.  More ends than begins is structural.
+        if depth < 0:
+            errors.append(
+                f"async span (cat={cat!r}, id={async_id!r}) has "
+                f"{-depth} more end(s) than begin(s)"
+            )
+    return errors

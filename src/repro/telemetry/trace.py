@@ -1,0 +1,305 @@
+"""Structured tracing with zero overhead when disabled.
+
+The tracer is a process-global buffer of plain-dict events.  Every
+emit function early-returns when tracing is off, and ``span`` hands
+back a shared null context manager, so the instrumented hot paths pay
+one attribute load + branch and allocate nothing.  Simulation state is
+never touched: no RNG draws, no counters the digests can see.
+
+Every event carries two timestamps:
+
+* ``ts``/``dur`` — **virtual time** taken from the simulation clock
+  (``SimClock`` seconds, or gateway ticks on the gateway track).
+  Deterministic, digest-stable, and what the Perfetto export renders.
+* ``wall``/``wall_dur`` — **wall time** from ``time.perf_counter``.
+  Diagnostic only; :func:`digest` strips these keys so two runs of the
+  same seed hash identically regardless of machine speed.
+
+Buffer order is the canonical event order.  Workers drain their buffer
+per shard and ship the events over the scheduler pipes; the parent
+ingests them in sorted shard-index order, which makes ``--jobs 1`` and
+``--jobs 4`` traces byte-identical (see ``sharding/scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "span",
+    "complete",
+    "instant",
+    "async_begin",
+    "async_instant",
+    "async_end",
+    "set_track",
+    "set_proc",
+    "drain",
+    "discard",
+    "ingest",
+    "snapshot",
+    "digest",
+    "WALL_KEYS",
+]
+
+#: Event keys that carry wall-clock data and are excluded from digests.
+WALL_KEYS = ("wall", "wall_dur")
+
+# Seeded from the environment so spawn-based worker processes inherit
+# the setting; fork-based workers inherit the module state directly.
+_enabled: bool = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+_events: list[dict[str, Any]] = []
+_track: str = "main"
+_proc: str = "main"
+
+
+def enabled() -> bool:
+    """True when tracing is active in this process."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn tracing on, including for child processes spawned later."""
+    global _enabled
+    _enabled = True
+    os.environ["REPRO_TRACE"] = "1"
+
+
+def disable() -> None:
+    """Turn tracing off and drop any buffered events."""
+    global _enabled
+    _enabled = False
+    os.environ.pop("REPRO_TRACE", None)
+    _events.clear()
+
+
+def set_track(name: str) -> str:
+    """Set the current track label (thread lane in the trace viewer).
+
+    Returns the previous track so callers can restore it::
+
+        prev = trace.set_track("shard0")
+        try: ...
+        finally: trace.set_track(prev)
+    """
+    global _track
+    prev = _track
+    _track = name
+    return prev
+
+
+def set_proc(name: str) -> str:
+    """Set the current process label; returns the previous one."""
+    global _proc
+    prev = _proc
+    _proc = name
+    return prev
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _emit(event: dict[str, Any]) -> None:
+    event["track"] = _track
+    event["proc"] = _proc
+    _events.append(event)
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: records virtual + wall time between enter and exit."""
+
+    __slots__ = ("name", "args", "_clock", "_vt0", "_w0")
+
+    def __init__(
+        self, name: str, clock: Callable[[], float], args: dict[str, Any]
+    ) -> None:
+        self.name = name
+        self.args = args
+        self._clock = clock
+        self._vt0 = 0.0
+        self._w0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._vt0 = float(self._clock())
+        self._w0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        vt1 = float(self._clock())
+        _emit(
+            {
+                "ph": "X",
+                "name": self.name,
+                "cat": _category(self.name),
+                "ts": self._vt0,
+                "dur": vt1 - self._vt0,
+                "wall": self._w0,
+                "wall_dur": time.perf_counter() - self._w0,
+                "args": self.args,
+            }
+        )
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span."""
+        self.args.update(attrs)
+
+
+def span(
+    name: str, clock: Callable[[], float], **attrs: Any
+) -> "_Span | _NullSpan":
+    """Context manager timing a region in virtual + wall time.
+
+    ``clock`` is a zero-argument callable returning the current virtual
+    time (e.g. ``lambda: system.clock.now``); it is read on enter and
+    exit only.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, clock, attrs)
+
+
+def complete(
+    name: str,
+    vt_start: float,
+    vt_end: float,
+    *,
+    wall_dur: float = 0.0,
+    **attrs: Any,
+) -> None:
+    """Record a complete ("X") event from already-known endpoints."""
+    if not _enabled:
+        return
+    _emit(
+        {
+            "ph": "X",
+            "name": name,
+            "cat": _category(name),
+            "ts": float(vt_start),
+            "dur": float(vt_end) - float(vt_start),
+            "wall": time.perf_counter(),
+            "wall_dur": wall_dur,
+            "args": attrs,
+        }
+    )
+
+
+def instant(name: str, vt: float, **attrs: Any) -> None:
+    """Record an instant ("i") event at virtual time ``vt``."""
+    if not _enabled:
+        return
+    _emit(
+        {
+            "ph": "i",
+            "name": name,
+            "cat": _category(name),
+            "ts": float(vt),
+            "wall": time.perf_counter(),
+            "args": attrs,
+        }
+    )
+
+
+def _async_event(
+    ph: str, name: str, key: str, vt: float, attrs: dict[str, Any]
+) -> None:
+    _emit(
+        {
+            "ph": ph,
+            "name": name,
+            "cat": _category(name),
+            "id": str(key),
+            "ts": float(vt),
+            "wall": time.perf_counter(),
+            "args": attrs,
+        }
+    )
+
+
+def async_begin(name: str, key: str, vt: float, **attrs: Any) -> None:
+    """Open an async span stitched by ``(category, key)`` across tracks."""
+    if not _enabled:
+        return
+    _async_event("b", name, key, vt, attrs)
+
+
+def async_instant(name: str, key: str, vt: float, **attrs: Any) -> None:
+    """Mark progress inside an open async span."""
+    if not _enabled:
+        return
+    _async_event("n", name, key, vt, attrs)
+
+
+def async_end(name: str, key: str, vt: float, **attrs: Any) -> None:
+    """Close the async span opened under the same ``(category, key)``."""
+    if not _enabled:
+        return
+    _async_event("e", name, key, vt, attrs)
+
+
+def drain() -> list[dict[str, Any]]:
+    """Return and clear the buffered events (e.g. to ship over a pipe)."""
+    events = list(_events)
+    _events.clear()
+    return events
+
+
+def discard() -> None:
+    """Drop buffered events without returning them.
+
+    Used by scheduler workers right after journal replay (the replayed
+    epochs already delivered their spans before the crash) and — via the
+    same call — to clear a fork-inherited copy of the parent's buffer.
+    """
+    _events.clear()
+
+
+def ingest(events: list[dict[str, Any]]) -> None:
+    """Append externally-drained events in their given order."""
+    _events.extend(events)
+
+
+def snapshot() -> list[dict[str, Any]]:
+    """A copy of the buffered events, in canonical order."""
+    return list(_events)
+
+
+def digest(events: list[dict[str, Any]] | None = None) -> str:
+    """SHA-256 over the canonical JSON of events, wall-clock excluded.
+
+    Two runs of the same seed must produce the same digest no matter
+    the machine, job count, or wall-clock speed.
+    """
+    if events is None:
+        events = _events
+    stripped = [
+        {k: v for k, v in event.items() if k not in WALL_KEYS}
+        for event in events
+    ]
+    payload = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

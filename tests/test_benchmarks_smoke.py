@@ -17,8 +17,12 @@ RUNNER = REPO_ROOT / "benchmarks" / "run_benchmarks.py"
 
 def test_run_benchmarks_quick_writes_valid_json(tmp_path):
     output = tmp_path / "BENCH_amm.json"
+    trace_out = tmp_path / "trace.json"
     proc = subprocess.run(
-        [sys.executable, str(RUNNER), "--quick", "-o", str(output)],
+        [
+            sys.executable, str(RUNNER), "--quick", "-o", str(output),
+            "--trace", str(trace_out),
+        ],
         capture_output=True,
         text=True,
         timeout=300,
@@ -54,6 +58,20 @@ def test_run_benchmarks_quick_writes_valid_json(tmp_path):
     assert scaling["wall_clock"]["1_shard"] > 0
     assert scaling["wall_clock"]["4_shards"] > 0
     assert scaling["simulated"]["speedup_4v1"] >= 2.5
+    # PR 10: per-phase wall-time breakdown of the epoch loop.
+    phases = report["phase_profile"]
+    assert phases["epochs"] >= 1
+    assert "RoundExecutionPhase" in phases["phases"]
+    for row in phases["phases"].values():
+        assert row["total_s"] >= 0.0
+        assert row["calls"] >= 1
+    # --trace exported a well-formed Chrome trace-event document.
+    from repro.telemetry import export
+
+    doc = json.loads(trace_out.read_text())
+    assert export.validate_chrome_trace(doc) == []
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert "epoch.run" in names
 
 
 def test_run_benchmarks_store_records_feed_compare(tmp_path):

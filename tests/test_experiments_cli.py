@@ -101,3 +101,36 @@ def test_module_invocation(tmp_path):
     assert "committee" in proc.stdout
     # The default artifact store lands next to the invocation.
     assert (tmp_path / ".repro-results" / "runs").is_dir()
+
+
+def test_trace_flag_exports_chrome_trace(tmp_path, capsys, monkeypatch):
+    """--trace writes a validating Chrome trace and leaves tracing off."""
+    import json
+
+    from repro.telemetry import export, trace
+
+    monkeypatch.setenv("REPRO_FAST", "1")
+    out = tmp_path / "nested" / "trace.json"
+    assert main(["cross_shard_ratio", "--trace", str(out), "--no-store"]) == 0
+    captured = capsys.readouterr()
+    assert "perfetto" in captured.out.lower()
+    doc = json.loads(out.read_text())
+    assert export.validate_chrome_trace(doc) == []
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert "epoch.run" in names
+    assert any(name.startswith("phase.") for name in names)
+    # The flag is per-invocation: tracing is torn down afterwards.
+    assert not trace.enabled()
+
+
+def test_trace_subcommand_forwards(tmp_path, capsys, monkeypatch):
+    """`trace NAMES` == `NAMES --trace OUT --no-store`."""
+    import json
+
+    monkeypatch.setenv("REPRO_FAST", "1")
+    out = tmp_path / "trace.json"
+    assert main(["trace", "cross_shard_ratio", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    # The shorthand never touches the artifact store.
+    assert not Path(".repro-results").exists()

@@ -1,0 +1,207 @@
+"""Unit tests for the structured tracing layer (`repro.telemetry.trace`).
+
+Covers the span API (complete/instant/async events), the dual-timestamp
+model (virtual ts in digests, wall time excluded), buffer semantics
+(drain/discard/ingest), and the Chrome trace-event export + validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import export, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with tracing off and the buffer empty."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+# -- zero-overhead-when-off ----------------------------------------------------
+
+
+def test_disabled_span_is_shared_null_object():
+    a = trace.span("epoch.run", lambda: 0.0, epoch=1)
+    b = trace.span("phase.x", lambda: 1.0)
+    assert a is b  # one shared null span, no per-call allocation
+    with a as s:
+        s.set(anything=1)  # no-op, no error
+    assert trace.snapshot() == []
+
+
+def test_disabled_emitters_record_nothing():
+    trace.instant("sync.confirmed", 1.0)
+    trace.complete("pbft.round", 0.0, 1.0)
+    trace.async_begin("xfer.transfer", "t1", 0.0)
+    trace.async_instant("xfer.lock", "t1", 0.5)
+    trace.async_end("xfer.transfer", "t1", 1.0)
+    assert trace.snapshot() == []
+    assert not trace.enabled()
+
+
+def test_enable_disable_roundtrip_clears_buffer():
+    trace.enable()
+    assert trace.enabled()
+    trace.instant("x", 1.0)
+    assert len(trace.snapshot()) == 1
+    trace.disable()
+    assert not trace.enabled()
+    assert trace.snapshot() == []
+
+
+# -- span emission -------------------------------------------------------------
+
+
+def test_span_records_virtual_and_wall_time():
+    trace.enable()
+    now = {"t": 10.0}
+    with trace.span("epoch.run", lambda: now["t"], epoch=3) as span:
+        now["t"] = 12.5
+        span.set(extra="y")
+    (event,) = trace.snapshot()
+    assert event["ph"] == "X"
+    assert event["name"] == "epoch.run"
+    assert event["cat"] == "epoch"
+    assert event["ts"] == 10.0
+    assert event["dur"] == 2.5
+    assert event["args"] == {"epoch": 3, "extra": "y"}
+    assert event["wall_dur"] >= 0.0  # wall clock present but unasserted
+
+
+def test_instant_and_async_events():
+    trace.enable()
+    trace.instant("sync.confirmed", 4.0, epochs=[1, 2])
+    trace.async_begin("xfer.transfer", 17, 1.0, source_shard=0)
+    trace.async_instant("xfer.lock", 17, 1.5, shard=1)
+    trace.async_end("xfer.transfer", 17, 2.0, outcome="settled")
+    events = trace.snapshot()
+    assert [e["ph"] for e in events] == ["i", "b", "n", "e"]
+    assert all(e["id"] == "17" for e in events[1:])  # ids stringified
+    assert events[0]["args"]["epochs"] == [1, 2]
+
+
+def test_track_and_proc_scoping():
+    trace.enable()
+    prev = trace.set_track("shard3")
+    trace.instant("x", 1.0)
+    trace.set_track(prev)
+    trace.instant("y", 2.0)
+    first, second = trace.snapshot()
+    assert first["track"] == "shard3"
+    assert second["track"] == prev == "main"
+
+
+# -- buffer semantics ----------------------------------------------------------
+
+
+def test_drain_returns_and_clears():
+    trace.enable()
+    trace.instant("a", 1.0)
+    events = trace.drain()
+    assert len(events) == 1
+    assert trace.snapshot() == []
+    trace.ingest(events)
+    assert len(trace.snapshot()) == 1
+
+
+def test_discard_clears_without_returning():
+    trace.enable()
+    trace.instant("a", 1.0)
+    trace.discard()
+    assert trace.snapshot() == []
+
+
+# -- digests -------------------------------------------------------------------
+
+
+def test_digest_excludes_wall_clock_fields():
+    trace.enable()
+    with trace.span("epoch.run", lambda: 1.0):
+        pass
+    (event,) = trace.drain()
+    twin = dict(event, wall=event["wall"] + 123.0, wall_dur=99.0)
+    assert trace.digest([event]) == trace.digest([twin])
+    # ...but virtual time IS part of the digest.
+    moved = dict(event, ts=2.0)
+    assert trace.digest([event]) != trace.digest([moved])
+
+
+def test_digest_depends_on_event_order():
+    a = {"ph": "i", "name": "a", "cat": "a", "ts": 1.0, "args": {}}
+    b = {"ph": "i", "name": "b", "cat": "b", "ts": 2.0, "args": {}}
+    assert trace.digest([a, b]) != trace.digest([b, a])
+
+
+# -- export --------------------------------------------------------------------
+
+
+def _sample_events():
+    trace.enable()
+    prev = trace.set_track("shard0")
+    with trace.span("epoch.run", lambda: 1.0, epoch=0):
+        trace.async_begin("xfer.transfer", "t1", 1.0, source_shard=0)
+    trace.set_track("shard1")
+    trace.async_end("xfer.transfer", "t1", 2.0, outcome="settled")
+    trace.set_track(prev)
+    trace.instant("sync.confirmed", 3.0)
+    return trace.drain()
+
+
+def test_chrome_export_shape_and_validation():
+    events = _sample_events()
+    doc = export.to_chrome_trace(events)
+    assert export.validate_chrome_trace(doc) == []
+    assert doc["displayTimeUnit"] == "ms"
+    payload = json.dumps(doc)  # must be valid strict JSON
+    assert json.loads(payload)["traceEvents"]
+
+    by_ph = {}
+    for event in doc["traceEvents"]:
+        by_ph.setdefault(event["ph"], []).append(event)
+    # µs scaling on complete events.
+    (complete,) = by_ph["X"]
+    assert complete["ts"] == 1.0 * 1_000_000
+    assert "dur" in complete
+    # Async pair keeps its id and lands on two distinct tids.
+    begin, end = by_ph["b"][0], by_ph["e"][0]
+    assert begin["id"] == end["id"] == "t1"
+    assert begin["tid"] != end["tid"]
+    # Metadata events name the tracks.
+    thread_names = {
+        e["args"]["name"] for e in by_ph["M"] if e["name"] == "thread_name"
+    }
+    assert {"shard0", "shard1"} <= thread_names
+
+
+def test_validator_flags_malformed_documents():
+    assert export.validate_chrome_trace({}) != []
+    bad_ph = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0}]}
+    assert any("ph" in e for e in export.validate_chrome_trace(bad_ph))
+    # More ends than begins for one async id is an error...
+    unbalanced = export.to_chrome_trace(
+        [
+            {"ph": "e", "name": "xfer.transfer", "cat": "xfer", "ts": 1.0,
+             "id": "t9", "args": {}, "track": "main", "proc": "main"},
+        ]
+    )
+    assert export.validate_chrome_trace(unbalanced) != []
+    # ...but an open begin (in-flight at run end) is legitimate.
+    open_span = export.to_chrome_trace(
+        [
+            {"ph": "b", "name": "xfer.transfer", "cat": "xfer", "ts": 1.0,
+             "id": "t9", "args": {}, "track": "main", "proc": "main"},
+        ]
+    )
+    assert export.validate_chrome_trace(open_span) == []
+
+
+def test_export_is_deterministic():
+    events = _sample_events()
+    assert export.to_chrome_trace(events) == export.to_chrome_trace(
+        [dict(e) for e in events]
+    )
